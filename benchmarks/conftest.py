@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one paper table or figure.
+The synthetic dataset is the expensive shared input, so it is built once
+per session with reduced sequence lengths (the paper's full 234-frame
+sequences would multiply runtimes without changing any trend) and a cap on
+the concurrently simulated objects in the two very crowded scenes.
+
+Benchmarks print their reproduced rows with ``print()``; run pytest with
+``-s`` (or read the captured output of a failing assertion) to see them.
+Heavy end-to-end sweeps use ``benchmark.pedantic(..., rounds=1)`` so
+pytest-benchmark does not repeat a multi-second simulation dozens of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.video.dataset import build_panda4k
+from repro.video.scenes import all_scene_keys
+from repro.workloads import build_camera_traces
+
+#: Frames generated per scene for the per-scene comparisons.  The split
+#: keeps the paper's ~100/234 train proportion, leaving ~15 eval frames.
+SCENE_FRAME_LIMIT = 35
+#: Cap on concurrently simulated objects (affects scenes 06 and 10 only).
+OBJECT_CAP = 200
+
+
+@pytest.fixture(scope="session")
+def panda_dataset():
+    """All ten scenes with truncated sequences."""
+    return build_panda4k(
+        seed=2024,
+        scene_keys=all_scene_keys(),
+        limit_frames=SCENE_FRAME_LIMIT,
+        max_concurrent_objects=OBJECT_CAP,
+    )
+
+
+@pytest.fixture(scope="session")
+def eval_frames_by_scene(panda_dataset):
+    """Evaluation split of every scene."""
+    return {key: panda_dataset.eval_frames(key) for key in panda_dataset.scene_keys}
+
+
+@pytest.fixture(scope="session")
+def motivation_scenes(panda_dataset):
+    """Scenes 01-05, the subset used in the Fig. 2 motivation study."""
+    keys = ["scene_01", "scene_02", "scene_03", "scene_04", "scene_05"]
+    return {key: panda_dataset.eval_frames(key) for key in keys}
+
+
+@pytest.fixture(scope="session")
+def camera_traces():
+    """Camera traces for the end-to-end experiments (3 cameras)."""
+    return build_camera_traces(
+        num_cameras=3, frames_per_camera=12, seed=2024, max_concurrent_objects=150
+    )

@@ -1,0 +1,83 @@
+"""Fig. 10: adaptive partitioning output statistics.
+
+* Fig. 10(a): the number of patches produced per frame in every scene
+  (roughly 6-16 with 4x4 zones in the paper).
+* Fig. 10(b): the CDF of per-frame canvas efficiency when each frame's
+  patches are stitched onto 1024x1024 canvases (roughly 0.4-0.9 in the
+  paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import fraction_above, summarise
+from repro.analysis.tables import format_table
+from repro.pipeline.offline import canvas_efficiency_per_frame, patches_per_frame
+
+
+def test_fig10a_patches_per_frame(benchmark, eval_frames_by_scene):
+    def run():
+        return {
+            scene: patches_per_frame(frames, zones=4, seed=23)
+            for scene, frames in sorted(eval_frames_by_scene.items())
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["scene", "mean patches/frame", "min", "max"],
+            [
+                [scene, float(np.mean(series)), int(np.min(series)), int(np.max(series))]
+                for scene, series in counts.items()
+            ],
+            title="Fig. 10(a) -- patches per frame (4x4 partitioning)",
+            float_format="{:.1f}",
+        )
+    )
+
+    for scene, series in counts.items():
+        assert 1 <= np.mean(series) <= 16
+        assert max(series) <= 16  # at most one patch per zone
+        # The patch count adapts over time (it is not a constant).
+        assert max(series) >= min(series)
+    overall = [value for series in counts.values() for value in series]
+    assert 4 <= np.mean(overall) <= 16
+
+
+def test_fig10b_canvas_efficiency_cdf(benchmark, eval_frames_by_scene):
+    def run():
+        return {
+            scene: canvas_efficiency_per_frame(frames, zones=4, canvas_size=1024.0, seed=29)
+            for scene, frames in sorted(eval_frames_by_scene.items())
+        }
+
+    efficiencies = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["scene", "mean efficiency", "p25", "p75", "share > 0.5"],
+            [
+                [
+                    scene,
+                    summarise(series).mean,
+                    summarise(series).p25,
+                    summarise(series).p75,
+                    fraction_above(series, 0.5),
+                ]
+                for scene, series in efficiencies.items()
+            ],
+            title="Fig. 10(b) -- per-frame canvas efficiency (4x4, canvas 1024)",
+        )
+    )
+
+    overall = [value for series in efficiencies.values() for value in series]
+    stats = summarise(overall)
+    # The paper's CDF spans roughly 0.4-0.9; per-frame stitching (no
+    # cross-frame batching) sits in the lower half of that range.
+    assert 0.35 <= stats.mean <= 0.9
+    assert stats.maximum <= 1.0
+    assert fraction_above(overall, 0.3) > 0.8

@@ -1,0 +1,81 @@
+"""Fig. 13: how bandwidth and SLO shape the canvas efficiency.
+
+The paper's two observations:
+
+* for a fixed bandwidth, a looser SLO gives the scheduler more time to wait
+  for patches, so canvases get fuller (Fig. 13(a-c));
+* for a fixed SLO (1 s), higher bandwidth delivers patches faster, giving
+  the stitching solver more choices per unit time, so canvases get fuller
+  (Fig. 13(d): at 20 Mbps only ~50% of canvases exceed 60% efficiency, at
+  80 Mbps ~86% do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import fraction_above, summarise
+from repro.analysis.tables import format_table
+from repro.pipeline.endtoend import EndToEndConfig, run_end_to_end
+from repro.simulation.random_streams import RandomStreams
+
+
+def _efficiencies(camera_traces, bandwidth: float, slo: float):
+    config = EndToEndConfig(strategy="tangram", bandwidth_mbps=bandwidth, slo=slo)
+    result = run_end_to_end(config, camera_traces, streams=RandomStreams(77))
+    return result.canvas_efficiencies
+
+
+def test_fig13_slo_effect_on_canvas_efficiency(benchmark, camera_traces):
+    slos = (0.8, 1.2, 1.6)
+
+    def run():
+        return {slo: _efficiencies(camera_traces, 40.0, slo) for slo in slos}
+
+    by_slo = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["SLO (s)", "mean efficiency", "median", "share > 0.6"],
+            [
+                [slo, summarise(series).mean, summarise(series).median, fraction_above(series, 0.6)]
+                for slo, series in sorted(by_slo.items())
+            ],
+            title="Fig. 13(a-c) -- canvas efficiency vs. SLO at 40 Mbps",
+        )
+    )
+
+    means = [float(np.mean(by_slo[slo])) for slo in slos]
+    # Looser SLOs never hurt efficiency, and the loosest is meaningfully
+    # better than the tightest.
+    assert means[-1] >= means[0] - 0.02
+    assert all(0.2 < m <= 1.0 for m in means)
+
+
+def test_fig13d_bandwidth_effect_on_canvas_efficiency(benchmark, camera_traces):
+    bandwidths = (20.0, 40.0, 80.0)
+
+    def run():
+        return {bw: _efficiencies(camera_traces, bw, 1.0) for bw in bandwidths}
+
+    by_bandwidth = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["bandwidth", "mean efficiency", "share > 0.6"],
+            [
+                [f"{bw:.0f}Mbps", summarise(series).mean, fraction_above(series, 0.6)]
+                for bw, series in sorted(by_bandwidth.items())
+            ],
+            title="Fig. 13(d) -- canvas efficiency vs. bandwidth at SLO = 1 s",
+        )
+    )
+
+    share_above = {bw: fraction_above(series, 0.6) for bw, series in by_bandwidth.items()}
+    means = {bw: float(np.mean(series)) for bw, series in by_bandwidth.items()}
+    # Higher bandwidth -> fuller canvases (both in mean and in the share of
+    # canvases above 60% efficiency, the statistic the paper quotes).
+    assert means[80.0] >= means[20.0] - 0.02
+    assert share_above[80.0] >= share_above[20.0] - 0.05

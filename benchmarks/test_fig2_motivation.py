@@ -1,0 +1,96 @@
+"""Fig. 2: the two motivation measurements.
+
+* Fig. 2(a): accuracy decline of server-driven and content-aware offloading
+  versus full-frame inference on scenes 01-05 (the paper measures average
+  drops of ~23.9% and ~14.1% respectively).
+* Fig. 2(b): average RoI inference latency on a single statically
+  provisioned GPU as the number of source cameras grows from 1 to 5 (the
+  paper measures ~59 ms growing super-linearly to ~326 ms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.baselines.motivation import (
+    content_aware_accuracy,
+    full_frame_accuracy,
+    server_driven_accuracy,
+)
+from repro.pipeline.motivation import latency_vs_cameras
+from repro.simulation.random_streams import RandomStreams
+
+
+def test_fig2a_accuracy_decline(benchmark, motivation_scenes):
+    def run():
+        rows = []
+        for scene_key, frames in sorted(motivation_scenes.items()):
+            streams = RandomStreams(100)
+            rows.append(
+                (
+                    scene_key,
+                    server_driven_accuracy(frames, streams=streams.spawn(f"sd/{scene_key}")),
+                    content_aware_accuracy(frames, streams=streams.spawn(f"ca/{scene_key}")),
+                    full_frame_accuracy(frames, streams=streams.spawn(f"ff/{scene_key}")),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["scene", "server-driven AP", "content-aware AP", "full-frame AP"],
+            rows,
+            title="Fig. 2(a) -- accuracy decline of RoI offloading styles",
+        )
+    )
+
+    server_drop = []
+    content_drop = []
+    for _, server, content, full in rows:
+        assert full > 0
+        # Full-frame inference is the accuracy upper bound in every scene.
+        assert full >= server - 0.05
+        assert full >= content - 0.05
+        server_drop.append(1 - server / full)
+        content_drop.append(1 - content / full)
+    # The paper's averages: ~24% (server-driven) and ~14% (content-aware)
+    # relative decline.  Shape check: both lose accuracy, server-driven
+    # loses more on average.
+    assert np.mean(server_drop) > 0.05
+    assert np.mean(content_drop) > 0.0
+    assert np.mean(server_drop) >= np.mean(content_drop) - 0.05
+
+
+def test_fig2b_latency_vs_cameras(benchmark, motivation_scenes):
+    points = benchmark.pedantic(
+        latency_vs_cameras,
+        args=(motivation_scenes,),
+        kwargs={"camera_counts": (1, 2, 3, 4, 5), "fps": 3.0, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(
+        format_table(
+            ["#cameras", "mean latency (ms)", "p95 latency (ms)", "paper mean (ms)"],
+            [
+                [p.num_cameras, p.mean_latency_ms, p.p95_latency_ms, paper]
+                for p, paper in zip(points, (59.1, 67.2, 75.0, 121.7, 325.8))
+            ],
+            title="Fig. 2(b) -- RoI inference latency vs. number of cameras",
+            float_format="{:.1f}",
+        )
+    )
+
+    latencies = [p.mean_latency_ms for p in points]
+    # One camera: tens of milliseconds, like the paper's 59 ms.
+    assert 20 <= latencies[0] <= 150
+    # The curve grows and the five-camera point blows up super-linearly.
+    assert latencies[-1] > latencies[0]
+    assert latencies[-1] > 2.5 * latencies[0]
+    assert latencies[-1] == max(latencies)

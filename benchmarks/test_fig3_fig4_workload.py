@@ -1,0 +1,129 @@
+"""Fig. 3 and Fig. 4: workload characterisation.
+
+* Fig. 3(a/b): the RoI proportion per frame over time and its CDF -- in the
+  paper it fluctuates irregularly, mostly between 5% and 15%.
+* Fig. 4(a): the scatter of RoI widths and heights in scene_01 (widths up
+  to ~250 px, heights up to ~400 px).
+* Fig. 4(b): AP versus input resolution for a 4K-trained and a 480P-trained
+  detector -- downsizing collapses the 4K model, upsizing degrades the 480P
+  model, and the curves cross.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import empirical_cdf, summarise
+from repro.analysis.tables import format_series, format_table
+from repro.simulation.random_streams import RandomStreams
+from repro.vision.detector import resolution_accuracy_curve
+
+
+def test_fig3_workload_fluctuation(benchmark, eval_frames_by_scene):
+    def run():
+        return {
+            scene: [frame.roi_proportion for frame in frames]
+            for scene, frames in sorted(eval_frames_by_scene.items())
+        }
+
+    proportions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = []
+    for scene, series in proportions.items():
+        stats = summarise(series)
+        rows.append([scene, 100 * stats.mean, 100 * stats.minimum, 100 * stats.maximum])
+    print(
+        format_table(
+            ["scene", "mean RoI %", "min RoI %", "max RoI %"],
+            rows,
+            title="Fig. 3(a) -- temporal variation of the RoI proportion",
+            float_format="{:.2f}",
+        )
+    )
+    all_values = [value for series in proportions.values() for value in series]
+    values, cdf = empirical_cdf(all_values)
+    print(
+        format_series(
+            {f"P(RoI% <= {100 * v:.1f})": p for v, p in zip(values[:: len(values) // 8], cdf[:: len(values) // 8])},
+            title="Fig. 3(b) -- CDF of the RoI proportion",
+        )
+    )
+
+    # Fluctuation exists in every scene and the overall proportions live in
+    # the paper's 2%-20% band.
+    for series in proportions.values():
+        assert max(series) > min(series)
+    assert 0.01 < float(np.mean(all_values)) < 0.20
+    assert float(np.percentile(all_values, 95)) < 0.30
+
+
+def test_fig4a_roi_size_distribution(benchmark, eval_frames_by_scene):
+    def run():
+        widths, heights = [], []
+        for frame in eval_frames_by_scene["scene_01"]:
+            for obj in frame.objects:
+                widths.append(obj.box.width)
+                heights.append(obj.box.height)
+        return widths, heights
+
+    widths, heights = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["dimension", "mean (px)", "p95 (px)", "max (px)"],
+            [
+                ["width", float(np.mean(widths)), float(np.percentile(widths, 95)), float(np.max(widths))],
+                ["height", float(np.mean(heights)), float(np.percentile(heights, 95)), float(np.max(heights))],
+            ],
+            title="Fig. 4(a) -- RoI sizes in scene_01",
+            float_format="{:.0f}",
+        )
+    )
+
+    # The paper's scatter: widths mostly below ~250 px, heights below
+    # ~400 px, with substantial spread (batching them naively is hard).
+    assert 20 < np.mean(widths) < 200
+    assert 40 < np.mean(heights) < 350
+    assert np.std(widths) > 5
+    assert np.percentile(heights, 99) < 600
+
+
+def test_fig4b_resolution_accuracy(benchmark, eval_frames_by_scene):
+    frames = eval_frames_by_scene["scene_01"][:8]
+    resolutions = ["4K", "2K", "1080P", "720P", "480P"]
+
+    def run():
+        high = resolution_accuracy_curve(
+            frames, train_resolution="4K", eval_resolutions=resolutions,
+            streams=RandomStreams(41),
+        )
+        low = resolution_accuracy_curve(
+            frames, train_resolution="480P", eval_resolutions=resolutions,
+            streams=RandomStreams(42),
+        )
+        return high, low
+
+    high, low = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    paper_high = {"4K": 0.744, "2K": 0.736, "1080P": 0.691, "720P": 0.600, "480P": 0.374}
+    paper_low = {"4K": 0.411, "2K": 0.462, "1080P": 0.528, "720P": 0.546, "480P": 0.551}
+    print(
+        format_table(
+            ["resolution", "4K-model AP", "paper", "480P-model AP", "paper"],
+            [[r, high[r], paper_high[r], low[r], paper_low[r]] for r in resolutions],
+            title="Fig. 4(b) -- accuracy vs. input resolution (downsize / upsize)",
+        )
+    )
+
+    # Downsize curve (4K-trained model) decreases monotonically.
+    high_series = [high[r] for r in resolutions]
+    assert all(a >= b - 0.03 for a, b in zip(high_series, high_series[1:]))
+    assert high["4K"] - high["480P"] > 0.2
+    # Upsize curve (480P-trained model) is best at its native resolution.
+    assert low["480P"] > low["4K"]
+    # The two models cross over: each wins at its own training resolution.
+    assert high["4K"] > low["4K"]
+    assert low["480P"] > high["480P"]

@@ -1,0 +1,94 @@
+"""Fig. 8 and Fig. 9: per-scene function cost and bandwidth of the four
+offline strategies (Tangram 4x4, Masked Frame, Full Frame, ELF).
+
+The paper's shape: Tangram has the lowest cost in (almost) every scene --
+on average ~34% cheaper than Masked Frame, ~43% cheaper than Full Frame and
+~59% cheaper than ELF -- while its bandwidth matches ELF (same patches),
+sits near the Masked Frame, and is a small fraction of Full Frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.pipeline.offline import OFFLINE_STRATEGIES, compare_strategies_on_scene
+
+
+def _run_all_scenes(eval_frames_by_scene):
+    comparisons = {}
+    for scene, frames in sorted(eval_frames_by_scene.items()):
+        comparisons[scene] = compare_strategies_on_scene(scene, frames, seed=17)
+    return comparisons
+
+
+def test_fig8_function_cost(benchmark, eval_frames_by_scene):
+    comparisons = benchmark.pedantic(
+        _run_all_scenes, args=(eval_frames_by_scene,), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        format_table(
+            ["scene", "#frames", *OFFLINE_STRATEGIES],
+            [
+                [
+                    scene,
+                    comparison.summaries["tangram"].num_frames,
+                    *[comparison.summaries[s].total_cost for s in OFFLINE_STRATEGIES],
+                ]
+                for scene, comparison in comparisons.items()
+            ],
+            title="Fig. 8 -- function cost (USD) per scene",
+            float_format="{:.4f}",
+        )
+    )
+
+    tangram_vs_masked = []
+    tangram_vs_full = []
+    tangram_vs_elf = []
+    for scene, comparison in comparisons.items():
+        costs = {name: comparison.summaries[name].total_cost for name in OFFLINE_STRATEGIES}
+        # Tangram is the cheapest strategy in every scene.
+        assert costs["tangram"] <= min(costs["masked_frame"], costs["full_frame"], costs["elf"]) * 1.02
+        tangram_vs_masked.append(costs["tangram"] / costs["masked_frame"])
+        tangram_vs_full.append(costs["tangram"] / costs["full_frame"])
+        tangram_vs_elf.append(costs["tangram"] / costs["elf"])
+    # Average savings are substantial (the paper reports 34%/43%/59%).
+    assert np.mean(tangram_vs_masked) < 0.9
+    assert np.mean(tangram_vs_full) < 0.85
+    assert np.mean(tangram_vs_elf) < 0.7
+
+
+def test_fig9_bandwidth_consumption(benchmark, eval_frames_by_scene):
+    comparisons = benchmark.pedantic(
+        _run_all_scenes, args=(eval_frames_by_scene,), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        format_table(
+            ["scene", *OFFLINE_STRATEGIES],
+            [
+                [scene, *[comparison.normalised_bandwidth()[s] for s in OFFLINE_STRATEGIES]]
+                for scene, comparison in comparisons.items()
+            ],
+            title="Fig. 9 -- bandwidth normalised to Tangram",
+            float_format="{:.3f}",
+        )
+    )
+
+    reductions = []
+    for scene, comparison in comparisons.items():
+        normalised = comparison.normalised_bandwidth(reference="tangram")
+        # ELF transmits the same patches as Tangram.
+        assert normalised["elf"] == pytest.approx(1.0, rel=0.15)
+        # The masked frame is in the same ballpark as the patches.
+        assert 0.4 < normalised["masked_frame"] < 2.0
+        # Full frames cost several times more than the patches.
+        assert normalised["full_frame"] > 1.1
+        reductions.append(1.0 - comparison.bandwidth_vs_full_frame("tangram"))
+    # The paper: bandwidth reduction vs. Full Frame between ~10% and ~74%.
+    assert max(reductions) > 0.5
+    assert min(reductions) > 0.0

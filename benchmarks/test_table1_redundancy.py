@@ -1,0 +1,53 @@
+"""Table I: redundancy in video inference data on the PANDA4K dataset.
+
+Reproduces, per scene: the number of persons, the proportion of frame area
+covered by RoIs, and the share of full-frame inference time attributable to
+non-RoI pixels.  The paper reports RoI proportions between ~2.6% and
+~14.2% and redundancy between ~9% and ~15%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.pipeline.motivation import redundancy_table
+from repro.video.scenes import get_scene
+
+
+def test_table1_redundancy(benchmark, eval_frames_by_scene):
+    rows = benchmark.pedantic(
+        redundancy_table, args=(eval_frames_by_scene,), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        format_table(
+            ["scene", "name", "#frames", "#persons", "RoI prop (%)", "non-RoI share (%)", "paper RoI prop (%)"],
+            [
+                [
+                    row.scene_key,
+                    row.scene_name,
+                    row.num_frames,
+                    row.num_persons,
+                    100 * row.roi_proportion,
+                    100 * row.non_roi_time_fraction,
+                    100 * get_scene(row.scene_key).roi_area_fraction,
+                ]
+                for row in rows
+            ],
+            title="Table I -- redundancy in video inference data",
+            float_format="{:.2f}",
+        )
+    )
+
+    assert len(rows) == 10
+    for row in rows:
+        target = get_scene(row.scene_key).roi_area_fraction
+        # The generated workload's RoI proportion tracks the paper's Table I
+        # column within generous tolerance (scene dynamics are stochastic).
+        assert row.roi_proportion == pytest.approx(target, rel=0.5)
+        # RoIs cover well under a quarter of every scene: the redundancy
+        # premise the paper builds on.
+        assert row.roi_proportion < 0.25
+        assert row.num_persons > 0

@@ -1,0 +1,114 @@
+"""Table III and Table IV: accuracy of partitioning and RoI extractors.
+
+* Table III: AP@0.5 of full-frame inference vs. inference on the patches
+  produced at 2x2 / 4x4 / 6x6 granularity, per scene.  The paper's losses
+  stay within ~4% / ~5% / ~9% of the full-frame AP.
+* Table IV: for each RoI extraction method (GMM, optical flow,
+  SSDLite-MobileNetV2, Yolov3-MobileNetV2): the AP with RoIs alone, the AP
+  after adding adaptive partitioning, and the bandwidth consumed relative
+  to full frames.  GMM offers the best accuracy/bandwidth trade-off, and
+  "+Partition" always improves over raw RoIs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.pipeline.accuracy import (
+    full_frame_ap,
+    partition_accuracy,
+    roi_method_comparison,
+)
+
+#: Scenes used for the accuracy tables (a representative subset keeps the
+#: benchmark affordable; Table III covers all ten in the paper).
+TABLE3_SCENES = ("scene_01", "scene_02", "scene_04", "scene_05", "scene_08")
+
+
+def test_table3_partition_accuracy(benchmark, eval_frames_by_scene):
+    def run():
+        rows = {}
+        for scene in TABLE3_SCENES:
+            frames = eval_frames_by_scene[scene][:10]
+            rows[scene] = {
+                "full": full_frame_ap(frames, seed=31),
+                2: partition_accuracy(frames, zones=2, seed=31),
+                4: partition_accuracy(frames, zones=4, seed=31),
+                6: partition_accuracy(frames, zones=6, seed=31),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["scene", "Full", "2x2", "4x4", "6x6"],
+            [
+                [scene, values["full"], values[2], values[4], values[6]]
+                for scene, values in rows.items()
+            ],
+            title="Table III -- AP@0.5 vs. partition granularity",
+        )
+    )
+
+    losses = {2: [], 4: [], 6: []}
+    for scene, values in rows.items():
+        full = values["full"]
+        assert full > 0.25
+        for zones in (2, 4, 6):
+            losses[zones].append(full - values[zones])
+    # Partitioning's accuracy cost is bounded: mean losses stay small, and
+    # coarser partitions never lose more than finer ones by a wide margin.
+    assert np.mean(losses[2]) < 0.10
+    assert np.mean(losses[4]) < 0.12
+    assert np.mean(losses[6]) < 0.18
+    assert np.mean(losses[2]) <= np.mean(losses[6]) + 0.03
+
+
+def test_table4_roi_extraction_methods(benchmark, eval_frames_by_scene):
+    frames = eval_frames_by_scene["scene_01"][:10] + eval_frames_by_scene["scene_08"][:5]
+    methods = ("gmm", "optical_flow", "ssdlite_mobilenetv2", "yolov3_mobilenetv2")
+
+    def run():
+        return {
+            method: roi_method_comparison(frames, method=method, zones=4, seed=37)
+            for method in methods
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    paper = {
+        "gmm": (0.515, 0.678, 0.6799),
+        "optical_flow": (0.480, 0.669, 0.7727),
+        "ssdlite_mobilenetv2": (0.436, 0.637, 0.8226),
+        "yolov3_mobilenetv2": (0.397, 0.583, 0.5481),
+    }
+    print(
+        format_table(
+            ["method", "RoI AP", "+Partition AP", "BW fraction", "paper RoI", "paper +Part", "paper BW"],
+            [
+                [method, row.roi_only_ap, row.partition_ap, row.bandwidth_fraction, *paper[method]]
+                for method, row in rows.items()
+            ],
+            title="Table IV -- RoI extraction methods",
+        )
+    )
+
+    # Partitioning improves every extraction method (the "+Partition"
+    # column dominates the "RoI" column in the paper).
+    for method, row in rows.items():
+        assert row.partition_ap >= row.roi_only_ap - 0.02
+        assert 0.0 < row.bandwidth_fraction < 1.0
+
+    # GMM offers the best RoI-only accuracy of the four methods, which is
+    # why the paper selects it.
+    assert rows["gmm"].roi_only_ap >= max(
+        rows["ssdlite_mobilenetv2"].roi_only_ap,
+        rows["yolov3_mobilenetv2"].roi_only_ap,
+    ) - 0.02
+    # The lightweight detectors miss small objects, costing them accuracy
+    # relative to background modelling.
+    assert rows["gmm"].roi_only_ap > rows["yolov3_mobilenetv2"].roi_only_ap

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Pixel-level RoI extraction with the from-scratch background subtractor.
+
+The other examples use the analytic RoI extractors (fast, geometry-only).
+This one exercises the actual pixel substrate: frames are rasterised at a
+reduced resolution, the Stauffer-Grimson mixture-of-Gaussians background
+model segments the foreground, connected components become RoI boxes, and
+Algorithm 1 turns those boxes into patches -- exactly the edge pipeline the
+paper runs on the Jetson, minus the GPU.
+
+Run with::
+
+    python examples/pixel_gmm_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.partitioning import partition_rois
+from repro.simulation.random_streams import RandomStreams
+from repro.video.generator import SceneGenerator
+from repro.video.renderer import FrameRenderer
+from repro.video.scenes import get_scene
+from repro.vision.gmm import GaussianMixtureBackgroundSubtractor, mask_to_boxes
+from repro.vision.metrics import boxes_recall
+
+
+def main() -> None:
+    profile = get_scene("scene_04")  # Primary School: dense, fast-moving
+    generator = SceneGenerator(
+        profile, streams=RandomStreams(3), max_concurrent_objects=30
+    )
+    frames = generator.generate(num_frames=16)
+    renderer = FrameRenderer(render_width=480, render_height=270, noise_std=1.5)
+    gmm = GaussianMixtureBackgroundSubtractor(learning_rate=0.08)
+
+    print(f"Scene: {profile.name} ({profile.key}), rendering at "
+          f"{renderer.render_width}x{renderer.render_height}")
+    rows = []
+    for frame in frames:
+        image = renderer.render(frame)
+        mask = gmm.apply(image)
+        raster_boxes = mask_to_boxes(mask, min_area=6)
+        # Scale the raster-space RoIs back to native 4K coordinates and run
+        # the adaptive frame partitioning algorithm on them.
+        native_rois = [renderer.unscale_box(box) for box in raster_boxes]
+        patches = partition_rois(frame.width, frame.height, 4, 4, native_rois)
+        recall = boxes_recall(native_rois, frame.boxes, coverage_threshold=0.3)
+        rows.append(
+            [
+                frame.frame_index,
+                frame.num_objects,
+                len(native_rois),
+                len(patches),
+                100 * recall,
+                100 * sum(p.area for p in patches) / frame.area,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["frame", "#objects", "#RoIs (GMM)", "#patches", "recall (%)", "patch area (%)"],
+            rows,
+            title="Pixel-level GMM -> RoIs -> adaptive partitioning",
+            float_format="{:.1f}",
+        )
+    )
+    print("\nThe first few frames have poor recall while the background model"
+          "\nwarms up; once it converges, moving pedestrians are segmented and"
+          "\nthe partitioner transmits a small fraction of the frame.")
+
+
+if __name__ == "__main__":
+    main()

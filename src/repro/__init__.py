@@ -1,0 +1,25 @@
+"""Reproduction of *Tangram: High-Resolution Video Analytics on Serverless
+Platform with SLO-Aware Batching* (ICDCS 2024).
+
+The package is organised as a set of substrates (video, vision, network,
+serverless, simulation) underneath the paper's core contribution
+(:mod:`repro.core`), the baselines it compares against
+(:mod:`repro.baselines`), and the experiment pipelines and analysis helpers
+used by the benchmark harness (:mod:`repro.pipeline`,
+:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.core import Tangram
+    from repro.video import build_panda4k
+
+    dataset = build_panda4k(scene_keys=["scene_01"], limit_frames=40)
+    tangram = Tangram()
+    for frame in dataset.eval_frames("scene_01"):
+        result = tangram.process_frame_offline(frame)
+        print(result.num_patches, result.cost)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

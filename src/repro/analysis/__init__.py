@@ -1,0 +1,26 @@
+"""Analysis helpers: CDFs, summary statistics, and table formatting.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; these helpers keep that formatting consistent and provide
+the small statistical utilities (empirical CDFs, percentile summaries,
+histogram binning for the Fig. 14(d) heat map) the benchmarks share.
+"""
+
+from repro.analysis.stats import (
+    empirical_cdf,
+    fraction_above,
+    joint_histogram,
+    summarise,
+    SummaryStats,
+)
+from repro.analysis.tables import format_table, format_series
+
+__all__ = [
+    "empirical_cdf",
+    "fraction_above",
+    "joint_histogram",
+    "summarise",
+    "SummaryStats",
+    "format_table",
+    "format_series",
+]

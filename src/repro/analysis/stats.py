@@ -1,0 +1,91 @@
+"""Statistical utilities shared by the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+
+def summarise(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a (possibly empty) sample."""
+    if len(values) == 0:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    array = np.asarray(values, dtype=float)
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    The CDF is evaluated at each sample point: ``P(X <= x_i) = i / n``.
+    """
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        return array, array
+    probabilities = np.arange(1, array.size + 1) / array.size
+    return array, probabilities
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``.
+
+    Used e.g. for "X% of canvas efficiencies are above 60%" (Section V-C).
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return 0.0
+    return float(np.mean(array > threshold))
+
+
+def joint_histogram(
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    x_edges: Sequence[float],
+    y_edges: Sequence[float],
+    normalise_rows: bool = True,
+) -> np.ndarray:
+    """2-D histogram of ``(x, y)`` pairs, optionally row-normalised.
+
+    Fig. 14(d) plots, for each number of canvases in a batch (rows), the
+    distribution over the number of patches the batch contained (columns);
+    row normalisation turns counts into the plotted proportions.
+    """
+    if len(x_values) != len(y_values):
+        raise ValueError("x_values and y_values must have the same length")
+    histogram, _, _ = np.histogram2d(
+        np.asarray(y_values, dtype=float),
+        np.asarray(x_values, dtype=float),
+        bins=[np.asarray(y_edges, dtype=float), np.asarray(x_edges, dtype=float)],
+    )
+    if normalise_rows:
+        row_sums = histogram.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            histogram = np.where(row_sums > 0, histogram / row_sums, 0.0)
+    return histogram

@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers render them readably without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[object, float],
+    title: str = "",
+    value_format: str = "{:.4f}",
+) -> str:
+    """Render a one-dimensional key -> value series."""
+    lines = []
+    if title:
+        lines.append(title)
+    key_width = max((len(str(key)) for key in series), default=0)
+    for key, value in series.items():
+        lines.append(f"  {str(key).ljust(key_width)}  {value_format.format(value)}")
+    return "\n".join(lines)

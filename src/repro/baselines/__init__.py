@@ -1,0 +1,56 @@
+"""Baselines the paper compares Tangram against.
+
+Offline (per-frame) strategies used in the cost/bandwidth comparison of
+Fig. 8 / Fig. 9:
+
+* **Full Frame** -- transmit the whole 4K frame, one invocation per frame.
+* **Masked Frame** (AdaMask-style) -- transmit the frame with non-RoI
+  pixels masked; still one full-resolution invocation per frame.
+* **ELF** -- cut out all patches, transmit them, and invoke the function
+  once per patch.
+* **Tangram (4x4)** -- patches stitched onto canvases, one invocation per
+  frame (provided by :class:`repro.core.tangram.Tangram`).
+
+Online scheduling policies used in the end-to-end comparison of Fig. 12:
+
+* **Clipper** -- AIMD adaptive batch size over fixed-size inference inputs.
+* **MArk** -- batch size plus timeout.
+* **ELF (online)** -- one invocation per patch, immediately on arrival.
+
+Motivation-study baselines (Fig. 2(a)):
+
+* **Server-driven** -- first pass on a low-quality frame, second pass on
+  the RoIs the cloud found.
+* **Content-aware** -- the edge extracts RoIs with a lightweight detector
+  and uploads only those.
+"""
+
+from repro.baselines.offline import (
+    ELFOfflineStrategy,
+    FrameCostRecord,
+    FullFrameStrategy,
+    MaskedFrameStrategy,
+    TangramOfflineStrategy,
+)
+from repro.baselines.clipper import ClipperScheduler
+from repro.baselines.mark import MArkScheduler
+from repro.baselines.elf import ELFScheduler
+from repro.baselines.motivation import (
+    content_aware_accuracy,
+    full_frame_accuracy,
+    server_driven_accuracy,
+)
+
+__all__ = [
+    "FrameCostRecord",
+    "FullFrameStrategy",
+    "MaskedFrameStrategy",
+    "ELFOfflineStrategy",
+    "TangramOfflineStrategy",
+    "ClipperScheduler",
+    "MArkScheduler",
+    "ELFScheduler",
+    "server_driven_accuracy",
+    "content_aware_accuracy",
+    "full_frame_accuracy",
+]

@@ -1,0 +1,55 @@
+"""ELF online scheduling: one invocation per patch, immediately.
+
+ELF offloads every cut-out patch as its own request as soon as it arrives
+at the cloud.  There is no batching, so there is no waiting latency -- but
+every patch pays the full per-invocation overhead and the many small
+requests add up to the highest function cost of the compared methods
+(Fig. 8, Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.patches import Patch
+from repro.core.scheduler import BaseScheduler
+from repro.core.stitching import Canvas
+from repro.serverless.platform import ServerlessPlatform
+from repro.simulation.engine import Simulator
+from repro.simulation.random_streams import RandomStreams
+from repro.vision.detector import DetectorLatencyModel
+
+
+class ELFScheduler(BaseScheduler):
+    """Invoke the serverless function once per arriving patch."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        platform: ServerlessPlatform,
+        latency_model: Optional[DetectorLatencyModel] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        super().__init__(
+            simulator,
+            platform,
+            latency_model,
+            streams=streams or RandomStreams(37),
+            name="elf",
+        )
+
+    def receive_patch(self, patch: Patch) -> None:
+        # Each patch is its own inference input, sized exactly to the patch
+        # (ELF does not pad to a fixed shape; the GPU processes the patch's
+        # own pixels plus the per-invocation overhead).
+        canvas = Canvas(
+            width=max(1.0, patch.width),
+            height=max(1.0, patch.height),
+            canvas_id=patch.patch_id,
+            oversized=True,
+        )
+        canvas.try_place(patch)
+        self.invoke_canvases([canvas])
+
+    def flush(self) -> None:
+        """Nothing is ever queued, so there is nothing to flush."""

@@ -1,0 +1,92 @@
+"""Motivation-study baselines (Fig. 2(a)): accuracy of RoI offloading styles.
+
+The paper's introduction measures how much detection accuracy server-driven
+and content-aware offloading lose on high-resolution video compared to
+running the detector on the full 4K frame:
+
+* **Server-driven** (DDS-style): the edge first uploads a low-quality
+  (downscaled) version of the frame; the cloud detects on it and feeds back
+  the regions it found; the edge re-uploads only those regions in high
+  quality.  Objects the low-quality pass missed are gone for good -- on
+  gigapixel-style scenes with many tiny people that loss is large.
+* **Content-aware** (ELF-style): the edge runs a lightweight detector and
+  uploads the regions it proposes.  The lightweight model misses small
+  objects, but fewer than the double-compression server-driven pass.
+* **Full frame**: the 4K frame goes to the cloud untouched; the only
+  losses are the detector's own.
+
+Each helper returns AP@0.5 over the supplied frames so the benchmark can
+tabulate the three bars of Fig. 2(a) per scene.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.simulation.random_streams import RandomStreams
+from repro.video.frames import Frame
+from repro.video.geometry import Box
+from repro.vision.detector import SimulatedDetector
+from repro.vision.metrics import Detection, average_precision
+from repro.vision.roi_extractors import make_extractor
+
+
+def _ground_truth(frames: Sequence[Frame]) -> List[Tuple[int, Box]]:
+    return [(frame.frame_index, obj.box) for frame in frames for obj in frame.objects]
+
+
+def full_frame_accuracy(
+    frames: Sequence[Frame],
+    detector: Optional[SimulatedDetector] = None,
+    streams: Optional[RandomStreams] = None,
+) -> float:
+    """AP@0.5 of cloud inference on the untouched 4K frames."""
+    streams = streams or RandomStreams(61)
+    detector = detector or SimulatedDetector(streams=streams.spawn("full-frame"))
+    detections: List[Detection] = []
+    for frame in frames:
+        detections.extend(detector.detect_full_frame(frame))
+    return average_precision(detections, _ground_truth(frames))
+
+
+def server_driven_accuracy(
+    frames: Sequence[Frame],
+    low_quality_scale: float = 0.25,
+    streams: Optional[RandomStreams] = None,
+) -> float:
+    """AP@0.5 of the two-round server-driven pipeline.
+
+    The first (low-quality) pass runs the cloud detector on the frame
+    downscaled by ``low_quality_scale``; only objects it finds get
+    re-uploaded in high quality and re-detected at native scale.
+    """
+    streams = streams or RandomStreams(62)
+    first_pass = SimulatedDetector(streams=streams.spawn("server-driven/low"))
+    second_pass = SimulatedDetector(streams=streams.spawn("server-driven/high"))
+    detections: List[Detection] = []
+    for frame in frames:
+        low_quality = first_pass.detect_full_frame(frame, input_scale=low_quality_scale)
+        # Regions fed back to the edge: the boxes found in the first pass,
+        # slightly expanded as DDS does to give the high-quality pass
+        # context.
+        feedback_regions = [det.box.expand(0.15 * det.box.height) for det in low_quality]
+        detections.extend(
+            second_pass.detect_in_regions(frame, feedback_regions, input_scale=1.0)
+        )
+    return average_precision(detections, _ground_truth(frames))
+
+
+def content_aware_accuracy(
+    frames: Sequence[Frame],
+    extractor_name: str = "ssdlite_mobilenetv2",
+    streams: Optional[RandomStreams] = None,
+) -> float:
+    """AP@0.5 of edge-side lightweight RoI extraction + cloud inference."""
+    streams = streams or RandomStreams(63)
+    extractor = make_extractor(extractor_name, streams=streams.spawn("content-aware/edge"))
+    detector = SimulatedDetector(streams=streams.spawn("content-aware/cloud"))
+    detections: List[Detection] = []
+    for frame in frames:
+        regions = extractor.extract(frame)
+        detections.extend(detector.detect_in_regions(frame, regions, input_scale=1.0))
+    return average_precision(detections, _ground_truth(frames))

@@ -1,0 +1,231 @@
+"""Offline (per-frame) transmission/invocation strategies.
+
+Fig. 8 and Fig. 9 compare, for every evaluation frame of every scene, how
+many bytes each method uploads and how much its function invocations cost
+when each frame is handled independently (no cross-frame batching).  Every
+strategy here implements ``process_frame`` returning a
+:class:`FrameCostRecord`; the benchmark harness sums records per scene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+from repro.core.partitioning import FramePartitioner
+from repro.core.tangram import Tangram, TangramConfig
+from repro.network.encoding import FrameEncoder
+from repro.serverless.cost import AlibabaCostModel
+from repro.simulation.random_streams import RandomStreams
+from repro.video.frames import Frame
+from repro.video.geometry import Box
+from repro.video.scenes import get_scene
+from repro.vision.detector import DetectorLatencyModel
+from repro.vision.roi_extractors import AnalyticRoIExtractor, make_extractor
+
+
+@dataclass
+class FrameCostRecord:
+    """Bytes uploaded and function cost for one frame under one strategy."""
+
+    strategy: str
+    scene_key: str
+    frame_index: int
+    uploaded_bytes: float
+    execution_times: List[float] = field(default_factory=list)
+    cost: float = 0.0
+    num_requests: int = 0
+    num_patches: int = 0
+    num_canvases: int = 0
+
+
+class OfflineStrategy(Protocol):
+    """Interface of the per-frame strategies."""
+
+    name: str
+
+    def process_frame(self, frame: Frame) -> FrameCostRecord:
+        ...
+
+
+class _StrategyBase:
+    """Common plumbing: encoder, cost model, latency model, RNG streams."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        encoder: Optional[FrameEncoder] = None,
+        cost_model: Optional[AlibabaCostModel] = None,
+        latency_model: Optional[DetectorLatencyModel] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.encoder = encoder or FrameEncoder()
+        self.cost_model = cost_model or AlibabaCostModel()
+        self.latency_model = latency_model or DetectorLatencyModel.serverless()
+        self.streams = streams or RandomStreams(23)
+        self._rng = self.streams.get(f"offline/{self.name}")
+
+    def _invoke_cost(self, execution_times: Sequence[float]) -> float:
+        return sum(self.cost_model.invocation_cost(t) for t in execution_times)
+
+
+class FullFrameStrategy(_StrategyBase):
+    """Transmit the original 4K frame; one invocation per frame."""
+
+    name = "full_frame"
+
+    def process_frame(self, frame: Frame) -> FrameCostRecord:
+        uploaded = self.encoder.full_frame_bytes(frame)
+        execution = self.latency_model.sample_latency(
+            batch_size=1, total_pixels=frame.area, rng=self._rng
+        )
+        return FrameCostRecord(
+            strategy=self.name,
+            scene_key=frame.scene_key,
+            frame_index=frame.frame_index,
+            uploaded_bytes=uploaded,
+            execution_times=[execution],
+            cost=self._invoke_cost([execution]),
+            num_requests=1,
+        )
+
+
+class MaskedFrameStrategy(_StrategyBase):
+    """AdaMask-style: mask non-RoI pixels, transmit the masked 4K frame.
+
+    The masked background compresses well (bandwidth drops close to the
+    patch-based methods), but the function still runs the detector over a
+    full-resolution canvas; only the fraction of compute attributable to
+    non-RoI regions (Table I's redundancy column) is saved.
+    """
+
+    name = "masked_frame"
+
+    def __init__(
+        self,
+        roi_extractor: Optional[AnalyticRoIExtractor] = None,
+        compute_saving_on_masked: Optional[float] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.roi_extractor = roi_extractor or make_extractor("gmm", streams=self.streams)
+        #: When None, the scene profile's measured non-RoI time fraction is
+        #: used as the compute saving; otherwise this fixed fraction is.
+        self.compute_saving_on_masked = compute_saving_on_masked
+
+    def process_frame(self, frame: Frame) -> FrameCostRecord:
+        rois = self.roi_extractor.extract(frame)
+        uploaded = self.encoder.masked_frame_bytes(frame, rois)
+        try:
+            saving = (
+                self.compute_saving_on_masked
+                if self.compute_saving_on_masked is not None
+                else get_scene(frame.scene_key).non_roi_time_fraction
+            )
+        except KeyError:
+            saving = self.compute_saving_on_masked or 0.12
+        effective_pixels = frame.area * (1.0 - saving)
+        execution = self.latency_model.sample_latency(
+            batch_size=1, total_pixels=effective_pixels, rng=self._rng
+        )
+        return FrameCostRecord(
+            strategy=self.name,
+            scene_key=frame.scene_key,
+            frame_index=frame.frame_index,
+            uploaded_bytes=uploaded,
+            execution_times=[execution],
+            cost=self._invoke_cost([execution]),
+            num_requests=1,
+            num_patches=len(rois),
+        )
+
+
+class ELFOfflineStrategy(_StrategyBase):
+    """ELF: cut out patches, transmit them, one invocation per patch."""
+
+    name = "elf"
+
+    def __init__(
+        self,
+        zones_x: int = 4,
+        zones_y: int = 4,
+        roi_extractor: Optional[AnalyticRoIExtractor] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        extractor = roi_extractor or make_extractor("gmm", streams=self.streams)
+        self.partitioner = FramePartitioner(
+            zones_x=zones_x, zones_y=zones_y, roi_extractor=extractor
+        )
+
+    def process_frame(self, frame: Frame) -> FrameCostRecord:
+        patches = self.partitioner.partition(
+            frame, generation_time=frame.timestamp, slo=1.0
+        )
+        uploaded = sum(self.encoder.patch_bytes(p.region) for p in patches)
+        executions = [
+            self.latency_model.sample_latency(
+                batch_size=1, total_pixels=p.area, rng=self._rng
+            )
+            for p in patches
+        ]
+        return FrameCostRecord(
+            strategy=self.name,
+            scene_key=frame.scene_key,
+            frame_index=frame.frame_index,
+            uploaded_bytes=uploaded,
+            execution_times=executions,
+            cost=self._invoke_cost(executions),
+            num_requests=len(patches),
+            num_patches=len(patches),
+        )
+
+
+class TangramOfflineStrategy(_StrategyBase):
+    """Tangram (4x4): stitch each frame's patches, one invocation per frame."""
+
+    name = "tangram"
+
+    def __init__(
+        self,
+        zones_x: int = 4,
+        zones_y: int = 4,
+        canvas_size: float = 1024.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        config = TangramConfig(
+            zones_x=zones_x,
+            zones_y=zones_y,
+            canvas_width=canvas_size,
+            canvas_height=canvas_size,
+        )
+        self.tangram = Tangram(
+            config=config,
+            streams=self.streams,
+            latency_model=self.latency_model,
+            cost_model=self.cost_model,
+            encoder=self.encoder,
+        )
+
+    def process_frame(self, frame: Frame) -> FrameCostRecord:
+        result = self.tangram.process_frame_offline(frame)
+        return FrameCostRecord(
+            strategy=self.name,
+            scene_key=frame.scene_key,
+            frame_index=frame.frame_index,
+            uploaded_bytes=result.uploaded_bytes,
+            execution_times=[result.execution_time] if result.canvases else [],
+            cost=result.cost,
+            num_requests=1 if result.canvases else 0,
+            num_patches=result.num_patches,
+            num_canvases=result.num_canvases,
+        )
+
+
+def run_strategy_over_frames(
+    strategy: OfflineStrategy, frames: Sequence[Frame]
+) -> List[FrameCostRecord]:
+    """Apply one strategy to every frame of a sequence."""
+    return [strategy.process_frame(frame) for frame in frames]

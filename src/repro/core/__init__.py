@@ -1,0 +1,37 @@
+"""Tangram's core contribution.
+
+* :mod:`repro.core.patches` -- the patch record the edge uploads (pixels
+  plus generation time, size, and SLO).
+* :mod:`repro.core.partitioning` -- Algorithm 1, adaptive frame
+  partitioning: align GMM RoIs into per-zone patches.
+* :mod:`repro.core.stitching` -- Algorithm 2 (lines 24-39), the
+  patch-stitching solver that packs variable-size patches onto fixed-size
+  canvases without resizing, padding, rotation or overlap.
+* :mod:`repro.core.latency` -- the latency estimator (offline profiling,
+  slack = mean + 3 sigma).
+* :mod:`repro.core.scheduler` -- the online SLO-aware batching invoker that
+  decides when to trigger the serverless function.
+* :mod:`repro.core.tangram` -- the plug-and-play facade mirroring the
+  paper's public API (``partition`` / ``receive_patch`` / ``invoke``).
+"""
+
+from repro.core.patches import Patch
+from repro.core.partitioning import FramePartitioner, partition_rois
+from repro.core.stitching import Canvas, Placement, PatchStitchingSolver
+from repro.core.latency import LatencyEstimator, LatencyProfile
+from repro.core.scheduler import BatchRecord, TangramScheduler
+from repro.core.tangram import Tangram
+
+__all__ = [
+    "Patch",
+    "FramePartitioner",
+    "partition_rois",
+    "Canvas",
+    "Placement",
+    "PatchStitchingSolver",
+    "LatencyEstimator",
+    "LatencyProfile",
+    "BatchRecord",
+    "TangramScheduler",
+    "Tangram",
+]

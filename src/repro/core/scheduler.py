@@ -1,0 +1,296 @@
+"""The cloud scheduler: online SLO-aware batching invoker (Algorithm 2).
+
+The scheduler receives patches one after another, keeps re-stitching the
+current queue onto canvases, asks the latency estimator for the
+conservative execution time ``T_slack`` of the current canvases, and
+invokes the serverless function at
+
+    t_remain = t_DDL - T_slack
+
+i.e. at the last moment that still leaves the function enough time to meet
+the earliest deadline in the queue.  Two situations force an immediate
+invocation of the *old* canvases instead: (a) the newly arrived patch makes
+``t_remain`` fall into the past (serving it together with the queue would
+violate the SLO), or (b) the canvases no longer fit in the function's GPU
+memory alongside the model.  In both cases the new patch starts a fresh
+queue.
+
+:class:`BaseScheduler` factors out the invocation and bookkeeping machinery
+(execution-time sampling, billing, per-patch latency and SLO accounting) so
+the baseline scheduling policies (Clipper, MArk, ELF) in
+:mod:`repro.baselines` share identical measurement code and differ only in
+*when* and *how* they batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.latency import LatencyEstimator
+from repro.core.patches import Patch
+from repro.core.stitching import Canvas, PatchStitchingSolver
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.function import InvocationRecord
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event
+from repro.simulation.random_streams import RandomStreams
+from repro.vision.detector import DetectorLatencyModel
+
+
+@dataclass
+class PatchOutcome:
+    """End-to-end result for one patch."""
+
+    patch: Patch
+    completion_time: float
+
+    @property
+    def latency(self) -> float:
+        """Capture-to-result latency, the quantity the SLO constrains."""
+        return self.completion_time - self.patch.generation_time
+
+    @property
+    def violated(self) -> bool:
+        return self.latency > self.patch.slo + 1e-9
+
+
+@dataclass
+class BatchRecord:
+    """One completed function invocation and everything billed/measured."""
+
+    batch_id: int
+    invoke_time: float
+    completion_time: float
+    execution_time: float
+    cost: float
+    num_canvases: int
+    num_patches: int
+    total_canvas_pixels: float
+    total_patch_pixels: float
+    canvas_efficiencies: List[float] = field(default_factory=list)
+    outcomes: List[PatchOutcome] = field(default_factory=list)
+
+    @property
+    def mean_canvas_efficiency(self) -> float:
+        if not self.canvas_efficiencies:
+            return 0.0
+        return sum(self.canvas_efficiencies) / len(self.canvas_efficiencies)
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.violated)
+
+    @property
+    def amortised_latency_per_patch(self) -> float:
+        """Mean end-to-end latency per patch in this batch (Fig. 14)."""
+        if not self.outcomes:
+            return 0.0
+        return sum(outcome.latency for outcome in self.outcomes) / len(self.outcomes)
+
+
+class BaseScheduler:
+    """Shared invocation/bookkeeping machinery for all scheduling policies."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        platform: ServerlessPlatform,
+        latency_model: Optional[DetectorLatencyModel] = None,
+        streams: Optional[RandomStreams] = None,
+        name: str = "scheduler",
+    ) -> None:
+        self.simulator = simulator
+        self.platform = platform
+        self.latency_model = latency_model or DetectorLatencyModel.serverless()
+        self.streams = streams or RandomStreams(17)
+        self._rng = self.streams.get(f"{name}/execution")
+        self.name = name
+        self.batches: List[BatchRecord] = []
+        self._batch_counter = 0
+
+    # ----------------------------------------------------------------- invoke
+    def invoke_canvases(self, canvases: Sequence[Canvas]) -> Optional[BatchRecord]:
+        """Invoke one function execution for a batch of canvases."""
+        canvases = [canvas for canvas in canvases if canvas.num_patches > 0]
+        if not canvases:
+            return None
+        total_canvas_pixels = sum(canvas.area for canvas in canvases)
+        total_patch_pixels = sum(canvas.used_area for canvas in canvases)
+        execution_time = self.latency_model.sample_latency(
+            batch_size=len(canvases),
+            total_pixels=total_canvas_pixels,
+            rng=self._rng,
+        )
+        patches = [patch for canvas in canvases for patch in canvas.patches]
+        record = BatchRecord(
+            batch_id=self._batch_counter,
+            invoke_time=self.simulator.now,
+            completion_time=float("nan"),
+            execution_time=execution_time,
+            cost=0.0,
+            num_canvases=len(canvases),
+            num_patches=len(patches),
+            total_canvas_pixels=total_canvas_pixels,
+            total_patch_pixels=total_patch_pixels,
+            canvas_efficiencies=[canvas.efficiency for canvas in canvases],
+        )
+        self._batch_counter += 1
+
+        def completed(invocation: InvocationRecord) -> None:
+            record.completion_time = invocation.finish_time
+            record.cost = invocation.cost
+            record.outcomes = [
+                PatchOutcome(patch=patch, completion_time=invocation.finish_time)
+                for patch in patches
+            ]
+
+        self.platform.invoke(
+            execution_time, payload=record, on_complete=completed
+        )
+        self.batches.append(record)
+        return record
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def completed_batches(self) -> List[BatchRecord]:
+        return [b for b in self.batches if b.outcomes]
+
+    @property
+    def all_outcomes(self) -> List[PatchOutcome]:
+        return [o for batch in self.completed_batches for o in batch.outcomes]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(batch.cost for batch in self.completed_batches)
+
+    @property
+    def slo_violation_rate(self) -> float:
+        outcomes = self.all_outcomes
+        if not outcomes:
+            return 0.0
+        return sum(1 for o in outcomes if o.violated) / len(outcomes)
+
+    def flush(self) -> None:  # pragma: no cover - overridden by policies
+        """Invoke whatever is still waiting (end of the experiment)."""
+
+
+class TangramScheduler(BaseScheduler):
+    """The paper's online SLO-aware batching invoker.
+
+    Parameters
+    ----------
+    solver:
+        The patch-stitching solver (canvas size fixes the batch geometry).
+    estimator:
+        The offline-profiled latency estimator providing ``T_slack``.
+    gpu_memory_gb:
+        GPU memory of the function instance (constraint (5)).
+    model_memory_gb:
+        Memory occupied by the DNN weights (``tau`` in the paper).
+    canvas_memory_gb:
+        GPU memory one canvas occupies during inference (``w``).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        platform: ServerlessPlatform,
+        solver: Optional[PatchStitchingSolver] = None,
+        estimator: Optional[LatencyEstimator] = None,
+        latency_model: Optional[DetectorLatencyModel] = None,
+        gpu_memory_gb: float = 6.0,
+        model_memory_gb: float = 2.5,
+        canvas_memory_gb: float = 0.35,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        latency_model = latency_model or DetectorLatencyModel.serverless()
+        super().__init__(
+            simulator, platform, latency_model, streams=streams, name="tangram"
+        )
+        self.solver = solver or PatchStitchingSolver()
+        self.estimator = estimator or LatencyEstimator(
+            latency_model=latency_model,
+            canvas_width=self.solver.canvas_width,
+            canvas_height=self.solver.canvas_height,
+            iterations=200,
+        )
+        if gpu_memory_gb <= model_memory_gb:
+            raise ValueError("gpu_memory_gb must exceed model_memory_gb")
+        self.gpu_memory_gb = gpu_memory_gb
+        self.model_memory_gb = model_memory_gb
+        self.canvas_memory_gb = canvas_memory_gb
+        self._queue: List[Patch] = []
+        self._canvases: List[Canvas] = []
+        self._timer: Optional[Event] = None
+
+    # ------------------------------------------------------------- constraint
+    @property
+    def max_canvases(self) -> int:
+        """Largest batch that fits in GPU memory alongside the model."""
+        available = self.gpu_memory_gb - self.model_memory_gb
+        return max(1, int(available / self.canvas_memory_gb))
+
+    def _memory_exceeded(self, canvases: Sequence[Canvas]) -> bool:
+        return len(canvases) > self.max_canvases
+
+    # ---------------------------------------------------------------- arrival
+    def receive_patch(self, patch: Patch) -> None:
+        """Algorithm 2, lines 4-18: handle one arriving patch."""
+        now = self.simulator.now
+        old_canvases = self._canvases
+        self._queue.append(patch)
+        candidate = self.solver.pack(self._queue)
+        deadline = min(p.deadline for p in self._queue)
+        slack = self.estimator.estimate(candidate)
+        t_remain = deadline - slack
+
+        if t_remain < now or self._memory_exceeded(candidate):
+            # Serving the whole queue together would violate the earliest
+            # SLO (or exceed GPU memory): ship the old canvases now and
+            # start a fresh queue with just the new patch.
+            self.invoke_canvases(old_canvases)
+            self._queue = [patch]
+            candidate = self.solver.pack(self._queue)
+            deadline = patch.deadline
+            slack = self.estimator.estimate(candidate)
+            t_remain = deadline - slack
+
+        self._canvases = candidate
+        self._schedule_invocation(max(now, t_remain))
+
+    def _schedule_invocation(self, when: float) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.simulator.schedule_at(
+            when, lambda _sim: self._fire(), name="tangram:invoke"
+        )
+
+    def _fire(self) -> None:
+        """Algorithm 2, lines 19-22: the invocation timer went off."""
+        self._timer = None
+        if not self._canvases:
+            return
+        self.invoke_canvases(self._canvases)
+        self._queue = []
+        self._canvases = []
+
+    # ------------------------------------------------------------------ flush
+    def flush(self) -> None:
+        """Invoke whatever is still queued (used at the end of a trace)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._canvases:
+            self.invoke_canvases(self._canvases)
+            self._queue = []
+            self._canvases = []
+
+    # --------------------------------------------------------------- insight
+    @property
+    def pending_patches(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending_canvases(self) -> int:
+        return len(self._canvases)

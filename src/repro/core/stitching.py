@@ -1,0 +1,270 @@
+"""Algorithm 2 (lines 24-39): the patch-stitching solver.
+
+Patches of heterogeneous sizes are packed onto fixed-size canvases so a
+batch of canvases can be fed to the DNN as a uniform tensor.  The solver is
+a best-short-side-fit guillotine packer, exactly as the pseudo-code
+describes:
+
+* among the free rectangles that can hold the patch, pick the one whose
+  smaller leftover side ``min(w_c - w_i, h_c - h_i)`` is smallest;
+* place the patch at the bottom-left corner of that free rectangle;
+* split the remaining space into two non-overlapping rectangles along the
+  *shorter* leftover axis;
+* if no free rectangle fits, open a new blank canvas.
+
+Patches are never resized, padded, rotated, or overlapped -- that is the
+point of the design (resizing costs accuracy, padding costs compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.patches import Patch
+from repro.video.geometry import Box
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One patch placed at ``(x, y)`` on a canvas."""
+
+    patch: Patch
+    x: float
+    y: float
+
+    @property
+    def box(self) -> Box:
+        """The area the patch occupies on the canvas."""
+        return Box(self.x, self.y, self.patch.width, self.patch.height)
+
+
+@dataclass
+class Canvas:
+    """A fixed-size canvas being filled with patches.
+
+    ``free_rectangles`` is the guillotine free-space list; it always
+    partitions the unused canvas area into disjoint rectangles.
+    """
+
+    width: float
+    height: float
+    canvas_id: int = 0
+    #: When true, this canvas was opened specially for a patch larger than
+    #: the configured canvas size (the partitioner can produce such patches
+    #: at coarse granularities); it is sized to that patch.
+    oversized: bool = False
+    placements: List[Placement] = field(default_factory=list)
+    free_rectangles: List[Box] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        if not self.free_rectangles and not self.placements:
+            self.free_rectangles = [Box(0.0, 0.0, self.width, self.height)]
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def used_area(self) -> float:
+        return sum(placement.patch.area for placement in self.placements)
+
+    @property
+    def efficiency(self) -> float:
+        """Ratio of total patch area to canvas area (Fig. 10(b), Fig. 13)."""
+        if self.area == 0:
+            return 0.0
+        return self.used_area / self.area
+
+    @property
+    def num_patches(self) -> int:
+        return len(self.placements)
+
+    @property
+    def patches(self) -> List[Patch]:
+        return [placement.patch for placement in self.placements]
+
+    def earliest_deadline(self) -> float:
+        """The tightest deadline among the patches on this canvas."""
+        if not self.placements:
+            return float("inf")
+        return min(placement.patch.deadline for placement in self.placements)
+
+    # --------------------------------------------------------------- stitching
+    def find_free_rectangle(self, patch: Patch) -> Optional[int]:
+        """Index of the best-short-side-fit free rectangle, or ``None``."""
+        best_index: Optional[int] = None
+        best_score = float("inf")
+        for index, rect in enumerate(self.free_rectangles):
+            if rect.width >= patch.width and rect.height >= patch.height:
+                score = min(rect.width - patch.width, rect.height - patch.height)
+                if score < best_score:
+                    best_score = score
+                    best_index = index
+        return best_index
+
+    def place(self, patch: Patch, rect_index: int) -> Placement:
+        """Place ``patch`` in free rectangle ``rect_index`` and split the
+        leftover space along the shorter axis (guillotine split)."""
+        rect = self.free_rectangles.pop(rect_index)
+        if rect.width < patch.width or rect.height < patch.height:
+            raise ValueError("patch does not fit in the chosen free rectangle")
+        # "Bottom-left" of the free rectangle; with a top-left origin this
+        # is the rectangle's origin corner, which keeps placements packed
+        # toward the canvas origin.
+        placement = Placement(patch=patch, x=rect.x, y=rect.y)
+        self.placements.append(placement)
+
+        leftover_w = rect.width - patch.width
+        leftover_h = rect.height - patch.height
+        # Split along the shorter leftover axis (Algorithm 2 line 32).
+        if leftover_w <= leftover_h:
+            # Right sliver is only as tall as the patch; bottom strip spans
+            # the full free-rectangle width.
+            right = Box(rect.x + patch.width, rect.y, leftover_w, patch.height)
+            bottom = Box(rect.x, rect.y + patch.height, rect.width, leftover_h)
+        else:
+            # Bottom sliver only as wide as the patch; right strip spans the
+            # full free-rectangle height.
+            right = Box(rect.x + patch.width, rect.y, leftover_w, rect.height)
+            bottom = Box(rect.x, rect.y + patch.height, patch.width, leftover_h)
+        for candidate in (right, bottom):
+            if candidate.width > 0.5 and candidate.height > 0.5:
+                self.free_rectangles.append(candidate)
+        return placement
+
+    def try_place(self, patch: Patch) -> Optional[Placement]:
+        """Place the patch if any free rectangle fits it."""
+        index = self.find_free_rectangle(patch)
+        if index is None:
+            return None
+        return self.place(patch, index)
+
+
+class PatchStitchingSolver:
+    """Packs a queue of patches onto a sequence of fixed-size canvases.
+
+    Parameters
+    ----------
+    canvas_width, canvas_height:
+        The uniform canvas size ``M x N`` (the paper uses 1024 x 1024).
+    sort_patches:
+        When true, patches are packed in decreasing area order, the classic
+        first-fit-decreasing improvement.  The paper's online algorithm
+        re-packs the whole queue every time a patch arrives, so ordering is
+        a solver implementation choice; decreasing-area ordering measurably
+        improves canvas efficiency and is used by default.
+    allow_oversized:
+        When a patch exceeds the canvas dimensions, open a dedicated canvas
+        of exactly the patch's size instead of failing.  Coarse partition
+        granularities (2 x 2 on a 4K frame) can produce such patches.
+    """
+
+    def __init__(
+        self,
+        canvas_width: float = 1024.0,
+        canvas_height: float = 1024.0,
+        sort_patches: bool = True,
+        allow_oversized: bool = True,
+    ) -> None:
+        if canvas_width <= 0 or canvas_height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.canvas_width = canvas_width
+        self.canvas_height = canvas_height
+        self.sort_patches = sort_patches
+        self.allow_oversized = allow_oversized
+
+    @property
+    def canvas_area(self) -> float:
+        return self.canvas_width * self.canvas_height
+
+    def pack(self, patches: Sequence[Patch]) -> List[Canvas]:
+        """Stitch ``patches`` onto as few canvases as the heuristic manages.
+
+        The solver is deterministic: the same queue always produces the
+        same packing, which the online scheduler relies on when it re-packs
+        after every arrival.
+        """
+        ordered = list(patches)
+        if self.sort_patches:
+            ordered.sort(key=lambda patch: patch.area, reverse=True)
+
+        canvases: List[Canvas] = []
+        next_id = 0
+        for patch in ordered:
+            if not patch.fits_on(self.canvas_width, self.canvas_height):
+                if not self.allow_oversized:
+                    raise ValueError(
+                        f"patch {patch.patch_id} ({patch.width:.0f}x{patch.height:.0f}) "
+                        f"exceeds the canvas size "
+                        f"{self.canvas_width:.0f}x{self.canvas_height:.0f}"
+                    )
+                oversized = Canvas(
+                    width=patch.width,
+                    height=patch.height,
+                    canvas_id=next_id,
+                    oversized=True,
+                )
+                next_id += 1
+                oversized.try_place(patch)
+                canvases.append(oversized)
+                continue
+
+            placed = False
+            for canvas in canvases:
+                if canvas.oversized:
+                    continue
+                if canvas.try_place(patch) is not None:
+                    placed = True
+                    break
+            if not placed:
+                canvas = Canvas(
+                    width=self.canvas_width,
+                    height=self.canvas_height,
+                    canvas_id=next_id,
+                )
+                next_id += 1
+                if canvas.try_place(patch) is None:  # pragma: no cover - cannot happen
+                    raise RuntimeError("fresh canvas failed to accept a fitting patch")
+                canvases.append(canvas)
+        return canvases
+
+    # ------------------------------------------------------------- statistics
+    @staticmethod
+    def total_pixels(canvases: Iterable[Canvas]) -> float:
+        """Total canvas area of a packing, the quantity inference pays for."""
+        return sum(canvas.area for canvas in canvases)
+
+    @staticmethod
+    def mean_efficiency(canvases: Sequence[Canvas]) -> float:
+        if not canvases:
+            return 0.0
+        return sum(canvas.efficiency for canvas in canvases) / len(canvases)
+
+    @staticmethod
+    def validate_packing(canvases: Iterable[Canvas]) -> None:
+        """Assert the packing invariants: placements stay inside the canvas
+        and never overlap.  Raises ``AssertionError`` on violation; used by
+        the property-based tests."""
+        for canvas in canvases:
+            bounds = Box(0.0, 0.0, canvas.width, canvas.height)
+            boxes: List[Tuple[int, Box]] = [
+                (placement.patch.patch_id, placement.box)
+                for placement in canvas.placements
+            ]
+            for patch_id, box in boxes:
+                if not bounds.contains_box(box):
+                    raise AssertionError(
+                        f"patch {patch_id} is placed outside canvas {canvas.canvas_id}"
+                    )
+            for i in range(len(boxes)):
+                for j in range(i + 1, len(boxes)):
+                    overlap = boxes[i][1].intersection_area(boxes[j][1])
+                    if overlap > 1e-6:
+                        raise AssertionError(
+                            f"patches {boxes[i][0]} and {boxes[j][0]} overlap by "
+                            f"{overlap:.2f} px^2 on canvas {canvas.canvas_id}"
+                        )

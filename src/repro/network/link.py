@@ -1,0 +1,149 @@
+"""Bandwidth-limited network links.
+
+Two flavours are provided:
+
+* :class:`NetworkLink` -- an analytic helper that converts byte counts to
+  transfer times, used by the offline (per-frame) experiments that do not
+  need queueing.
+* :class:`Uplink` -- an event-driven FIFO link built on the simulation
+  :class:`~repro.simulation.resources.Resource`, used by the end-to-end
+  experiments where patches from a camera share one uplink and queue behind
+  each other, which is exactly what produces the "arrival speed" effect the
+  paper dials via bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.simulation.engine import Simulator
+from repro.simulation.random_streams import RandomStreams
+from repro.simulation.resources import Resource, ResourceJob
+
+
+@dataclass(frozen=True)
+class TransmissionRecord:
+    """Bookkeeping for one completed transmission."""
+
+    payload: Any
+    size_bytes: float
+    enqueue_time: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.start_time - self.enqueue_time
+
+    @property
+    def transfer_time(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def total_delay(self) -> float:
+        return self.finish_time - self.enqueue_time
+
+
+class NetworkLink:
+    """Analytic link: converts sizes to times, no queueing state."""
+
+    def __init__(
+        self,
+        bandwidth_mbps: float,
+        propagation_delay: float = 0.005,
+        jitter_cv: float = 0.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+        self.bandwidth_mbps = bandwidth_mbps
+        self.propagation_delay = propagation_delay
+        self.jitter_cv = jitter_cv
+        self._rng = (streams or RandomStreams(3)).get("network/jitter")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Serialisation + propagation time for ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        base = size_bytes / self.bytes_per_second + self.propagation_delay
+        if self.jitter_cv > 0:
+            base *= max(0.2, float(self._rng.normal(1.0, self.jitter_cv)))
+        return base
+
+
+class Uplink:
+    """An event-driven FIFO uplink shared by one camera's transmissions."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bandwidth_mbps: float,
+        propagation_delay: float = 0.005,
+        name: str = "uplink",
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        self.simulator = simulator
+        self.bandwidth_mbps = bandwidth_mbps
+        self.propagation_delay = propagation_delay
+        self.name = name
+        self._resource = Resource(simulator, capacity=1, name=name)
+        self.records: List[TransmissionRecord] = []
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(record.size_bytes for record in self.records)
+
+    @property
+    def queue_length(self) -> int:
+        return self._resource.queue_length
+
+    def send(
+        self,
+        size_bytes: float,
+        payload: Any = None,
+        on_delivered: Optional[Callable[[TransmissionRecord], None]] = None,
+    ) -> None:
+        """Enqueue a transmission; ``on_delivered`` fires at arrival time.
+
+        Arrival time is the instant serialisation finishes plus the
+        propagation delay.  Because the propagation leg does not occupy the
+        link, it is modelled with a follow-up scheduled event rather than
+        by inflating the resource's service time.
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        serialisation = size_bytes / self.bytes_per_second
+        enqueue_time = self.simulator.now
+
+        def finished(job: ResourceJob) -> None:
+            record = TransmissionRecord(
+                payload=payload,
+                size_bytes=size_bytes,
+                enqueue_time=enqueue_time,
+                start_time=job.start_time,
+                finish_time=job.finish_time + self.propagation_delay,
+            )
+            self.records.append(record)
+            if on_delivered is not None:
+                if self.propagation_delay > 0:
+                    self.simulator.schedule_in(
+                        self.propagation_delay,
+                        lambda _sim, record=record: on_delivered(record),
+                        name=f"{self.name}:deliver",
+                    )
+                else:
+                    on_delivered(record)
+
+        self._resource.submit(serialisation, payload=payload, on_complete=finished)

@@ -1,0 +1,40 @@
+"""Experiment pipelines tying the substrates together.
+
+* :mod:`repro.pipeline.endtoend` -- the event-driven cloud-edge pipeline
+  (cameras -> edge partitioning -> uplink -> cloud scheduler -> serverless
+  platform) used by the Fig. 12/13/14 experiments.
+* :mod:`repro.pipeline.offline` -- per-frame cost/bandwidth comparisons
+  over the ten scenes (Fig. 8, Fig. 9, Table II).
+* :mod:`repro.pipeline.accuracy` -- accuracy studies (Table III, Table IV,
+  Fig. 2(a), Fig. 4(b)).
+* :mod:`repro.pipeline.motivation` -- the latency-vs-cameras IaaS study
+  (Fig. 2(b)) and the redundancy table (Table I).
+"""
+
+from repro.pipeline.endtoend import (
+    EndToEndConfig,
+    EndToEndResult,
+    EndToEndRunner,
+    run_end_to_end,
+)
+from repro.pipeline.offline import SceneComparison, compare_strategies_on_scene
+from repro.pipeline.accuracy import (
+    partition_accuracy,
+    roi_method_comparison,
+    roi_only_accuracy,
+)
+from repro.pipeline.motivation import latency_vs_cameras, redundancy_table
+
+__all__ = [
+    "EndToEndConfig",
+    "EndToEndResult",
+    "EndToEndRunner",
+    "run_end_to_end",
+    "SceneComparison",
+    "compare_strategies_on_scene",
+    "partition_accuracy",
+    "roi_only_accuracy",
+    "roi_method_comparison",
+    "latency_vs_cameras",
+    "redundancy_table",
+]

@@ -1,0 +1,110 @@
+"""A statically provisioned IaaS GPU server.
+
+The motivation experiment (Fig. 2(b)) measures how the average RoI
+inference latency explodes as more cameras feed a single resident GPU
+server: each camera's frame produces a burst of RoI requests, the requests
+queue behind each other, and with five cameras the average latency grows
+from ~59 ms to ~326 ms.  :class:`IaaSGPUServer` reproduces that setup: a
+fixed number of GPU workers serving RoI inference requests FIFO, with no
+auto-scaling and no per-invocation billing (the machine is rented whole).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simulation.engine import Simulator
+from repro.simulation.random_streams import RandomStreams
+from repro.simulation.resources import Resource, ResourceJob
+from repro.vision.detector import DetectorLatencyModel
+
+
+@dataclass
+class RoIRequestRecord:
+    """Latency bookkeeping for one RoI inference request."""
+
+    camera_id: str
+    submit_time: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish_time - self.submit_time
+
+
+class IaaSGPUServer:
+    """A fixed pool of GPU workers serving RoI requests FIFO.
+
+    Parameters
+    ----------
+    simulator:
+        The event loop.
+    num_gpus:
+        Number of concurrently served requests (the paper's testbed has a
+        single RTX 4090 serving the motivation study).
+    latency_model:
+        Per-request execution-time model; defaults to the IaaS preset of
+        :class:`~repro.vision.detector.DetectorLatencyModel`.
+    hourly_cost:
+        Rental price of the server, used by cost comparisons against the
+        serverless platform (an RTX-4090-class cloud instance).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_gpus: int = 1,
+        latency_model: Optional[DetectorLatencyModel] = None,
+        hourly_cost: float = 1.20,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be at least 1")
+        self.simulator = simulator
+        self.latency_model = latency_model or DetectorLatencyModel.iaas()
+        self.hourly_cost = hourly_cost
+        self._resource = Resource(simulator, capacity=num_gpus, name="iaas-gpu")
+        self._rng = (streams or RandomStreams(5)).get("iaas/latency")
+        self.records: List[RoIRequestRecord] = []
+
+    def submit_roi_batch(
+        self, camera_id: str, num_rois: int, total_pixels: float
+    ) -> None:
+        """Submit one camera's RoIs from one frame as a single GPU request."""
+        if num_rois <= 0:
+            return
+        execution = self.latency_model.sample_latency(
+            batch_size=num_rois, total_pixels=total_pixels, rng=self._rng
+        )
+        submit_time = self.simulator.now
+
+        def finished(job: ResourceJob) -> None:
+            self.records.append(
+                RoIRequestRecord(
+                    camera_id=camera_id,
+                    submit_time=submit_time,
+                    start_time=job.start_time,
+                    finish_time=job.finish_time,
+                )
+            )
+
+        self._resource.submit(execution, on_complete=finished)
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def mean_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(record.latency for record in self.records) / len(self.records)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.mean_latency * 1000.0
+
+    def rental_cost(self, elapsed_seconds: float) -> float:
+        """Cost of renting the server for ``elapsed_seconds``."""
+        if elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds must be non-negative")
+        return self.hourly_cost * elapsed_seconds / 3600.0

@@ -1,0 +1,56 @@
+"""Load-balancing policies over function instances.
+
+The paper fronts its function instances with NGINX using the default
+policy (round robin).  A least-connections policy is also provided because
+it is the other policy practitioners commonly switch to, and the ablation
+benchmarks compare the two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+from repro.serverless.function import FunctionInstance
+
+
+class LoadBalancer(Protocol):
+    """Interface every balancing policy implements."""
+
+    def select(self, instances: Sequence[FunctionInstance]) -> FunctionInstance:
+        """Pick the instance the next invocation should be routed to."""
+        ...
+
+
+class RoundRobinBalancer:
+    """NGINX's default policy: rotate through the upstream list."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, instances: Sequence[FunctionInstance]) -> FunctionInstance:
+        if not instances:
+            raise ValueError("no instances available to balance across")
+        instance = instances[self._cursor % len(instances)]
+        self._cursor += 1
+        return instance
+
+
+class LeastConnectionsBalancer:
+    """Route to the instance with the fewest outstanding invocations."""
+
+    def select(self, instances: Sequence[FunctionInstance]) -> FunctionInstance:
+        if not instances:
+            raise ValueError("no instances available to balance across")
+        return min(instances, key=lambda instance: instance.outstanding)
+
+
+def make_balancer(name: str) -> LoadBalancer:
+    """Factory used by experiment configs ( ``"round_robin"`` /
+    ``"least_connections"`` )."""
+    policies = {
+        "round_robin": RoundRobinBalancer,
+        "least_connections": LeastConnectionsBalancer,
+    }
+    if name not in policies:
+        raise KeyError(f"unknown load balancer {name!r}; valid: {sorted(policies)}")
+    return policies[name]()

@@ -1,0 +1,132 @@
+"""The serverless platform facade.
+
+:class:`ServerlessPlatform` owns the pool of function instances, scales the
+pool out when every warm instance is busy (serverless functions scale in
+tens of milliseconds, so the default policy simply adds an instance rather
+than queueing), routes invocations through the configured load balancer,
+and aggregates billing across all instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.simulation.engine import Simulator
+from repro.serverless.cost import AlibabaCostModel, FunctionResources
+from repro.serverless.function import FunctionInstance, InvocationRecord
+from repro.serverless.loadbalancer import LoadBalancer, RoundRobinBalancer
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """When to add a new function instance.
+
+    ``max_instances`` bounds the pool (a per-account concurrency quota in
+    real deployments); ``scale_out_when_busy`` adds an instance whenever
+    all existing instances have at least one outstanding invocation, which
+    is how request-driven FaaS platforms behave.
+    """
+
+    max_instances: int = 32
+    scale_out_when_busy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_instances < 1:
+            raise ValueError("max_instances must be at least 1")
+
+
+class ServerlessPlatform:
+    """A pool of GPU function instances with auto-scaling and billing."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        resources: Optional[FunctionResources] = None,
+        cost_model: Optional[AlibabaCostModel] = None,
+        balancer: Optional[LoadBalancer] = None,
+        scaling: Optional[ScalingPolicy] = None,
+        cold_start_time: float = 0.5,
+        initial_instances: int = 1,
+        name: str = "faas",
+    ) -> None:
+        if initial_instances < 0:
+            raise ValueError("initial_instances must be non-negative")
+        self.simulator = simulator
+        self.resources = resources or FunctionResources()
+        self.cost_model = cost_model or AlibabaCostModel(resources=self.resources)
+        self.balancer = balancer or RoundRobinBalancer()
+        self.scaling = scaling or ScalingPolicy()
+        self.cold_start_time = cold_start_time
+        self.name = name
+        self.instances: List[FunctionInstance] = []
+        self._instance_counter = 0
+        for _ in range(initial_instances):
+            self._add_instance()
+
+    # -------------------------------------------------------------- instances
+    def _add_instance(self) -> FunctionInstance:
+        instance = FunctionInstance(
+            self.simulator,
+            instance_id=f"{self.name}-{self._instance_counter}",
+            resources=self.resources,
+            cost_model=self.cost_model,
+            cold_start_time=self.cold_start_time,
+        )
+        self._instance_counter += 1
+        self.instances.append(instance)
+        return instance
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def _pick_instance(self) -> FunctionInstance:
+        if not self.instances:
+            return self._add_instance()
+        if self.scaling.scale_out_when_busy:
+            all_busy = all(instance.outstanding > 0 for instance in self.instances)
+            if all_busy and len(self.instances) < self.scaling.max_instances:
+                return self._add_instance()
+        return self.balancer.select(self.instances)
+
+    # ----------------------------------------------------------------- invoke
+    def invoke(
+        self,
+        execution_time: float,
+        payload: Any = None,
+        on_complete: Optional[Callable[[InvocationRecord], None]] = None,
+    ) -> FunctionInstance:
+        """Route one invocation through the load balancer.
+
+        Returns the instance the invocation was assigned to (useful for
+        tests asserting scaling behaviour).
+        """
+        instance = self._pick_instance()
+        instance.invoke(execution_time, payload=payload, on_complete=on_complete)
+        return instance
+
+    # ---------------------------------------------------------------- metrics
+    @property
+    def all_invocations(self) -> List[InvocationRecord]:
+        records: List[InvocationRecord] = []
+        for instance in self.instances:
+            records.extend(instance.invocations)
+        return sorted(records, key=lambda record: record.submit_time)
+
+    @property
+    def total_cost(self) -> float:
+        """Total USD billed across every instance (Eqn. 1 per invocation)."""
+        return sum(instance.total_cost for instance in self.instances)
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(len(instance.invocations) for instance in self.instances)
+
+    @property
+    def total_execution_time(self) -> float:
+        return sum(
+            record.execution_time
+            for instance in self.instances
+            for record in instance.invocations
+        )

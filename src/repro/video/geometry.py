@@ -1,0 +1,201 @@
+"""Axis-aligned box geometry used across the whole reproduction.
+
+Boxes are stored as ``(x, y, width, height)`` in pixel coordinates with the
+origin at the top-left of the frame, matching the convention of the object
+detection literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned rectangle ``(x, y, width, height)``.
+
+    Instances are immutable so they can safely be shared between the edge,
+    network, and cloud components of the simulation.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(
+                f"box dimensions must be non-negative, got "
+                f"width={self.width}, height={self.height}"
+            )
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Bottom edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height divided by width (pedestrian boxes are typically > 1)."""
+        if self.width == 0:
+            return math.inf
+        return self.height / self.width
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.x, self.y, self.width, self.height)
+
+    def as_xyxy(self) -> tuple[float, float, float, float]:
+        return (self.x, self.y, self.x2, self.y2)
+
+    # ------------------------------------------------------------- predicates
+    def is_empty(self) -> bool:
+        return self.width <= 0 or self.height <= 0
+
+    def contains_point(self, px: float, py: float) -> bool:
+        return self.x <= px <= self.x2 and self.y <= py <= self.y2
+
+    def contains_box(self, other: "Box", tolerance: float = 1e-6) -> bool:
+        """Whether ``other`` lies entirely inside this box.
+
+        ``tolerance`` absorbs floating-point rounding from accumulated
+        coordinate arithmetic (e.g. enclosing-rectangle construction).
+        """
+        return (
+            other.x >= self.x - tolerance
+            and other.y >= self.y - tolerance
+            and other.x2 <= self.x2 + tolerance
+            and other.y2 <= self.y2 + tolerance
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        return self.intersection_area(other) > 0
+
+    # ------------------------------------------------------------- operations
+    def intersection(self, other: "Box") -> Optional["Box"]:
+        """Return the overlapping box, or ``None`` if disjoint."""
+        left = max(self.x, other.x)
+        top = max(self.y, other.y)
+        right = min(self.x2, other.x2)
+        bottom = min(self.y2, other.y2)
+        if right <= left or bottom <= top:
+            return None
+        return Box(left, top, right - left, bottom - top)
+
+    def intersection_area(self, other: "Box") -> float:
+        overlap = self.intersection(other)
+        return 0.0 if overlap is None else overlap.area
+
+    def union_area(self, other: "Box") -> float:
+        return self.area + other.area - self.intersection_area(other)
+
+    def iou(self, other: "Box") -> float:
+        """Intersection over union, the matching criterion for AP@0.5."""
+        union = self.union_area(other)
+        if union <= 0:
+            return 0.0
+        return self.intersection_area(other) / union
+
+    def enclosing(self, other: "Box") -> "Box":
+        """Smallest box containing both boxes."""
+        left = min(self.x, other.x)
+        top = min(self.y, other.y)
+        right = max(self.x2, other.x2)
+        bottom = max(self.y2, other.y2)
+        return Box(left, top, right - left, bottom - top)
+
+    def translate(self, dx: float, dy: float) -> "Box":
+        return Box(self.x + dx, self.y + dy, self.width, self.height)
+
+    def scale(self, factor: float) -> "Box":
+        """Scale the box (position and size) by ``factor``, e.g. for
+        converting between frame resolutions."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return Box(
+            self.x * factor, self.y * factor, self.width * factor, self.height * factor
+        )
+
+    def clip_to(self, frame_width: float, frame_height: float) -> Optional["Box"]:
+        """Clip the box to the frame bounds; ``None`` if nothing remains."""
+        return self.intersection(Box(0.0, 0.0, frame_width, frame_height))
+
+    def expand(self, margin: float) -> "Box":
+        """Grow the box by ``margin`` pixels on every side (clamped at 0)."""
+        new_x = self.x - margin
+        new_y = self.y - margin
+        return Box(new_x, new_y, self.width + 2 * margin, self.height + 2 * margin)
+
+    def to_int(self) -> "Box":
+        """Snap to integer pixel coordinates, never shrinking below 1 px."""
+        x = int(math.floor(self.x))
+        y = int(math.floor(self.y))
+        x2 = int(math.ceil(self.x2))
+        y2 = int(math.ceil(self.y2))
+        return Box(float(x), float(y), float(max(1, x2 - x)), float(max(1, y2 - y)))
+
+
+def enclosing_box(boxes: Sequence[Box]) -> Box:
+    """Minimum enclosing rectangle of a non-empty sequence of boxes.
+
+    This is the operation Algorithm 1 (step 3) applies to each zone.
+    """
+    if not boxes:
+        raise ValueError("enclosing_box requires at least one box")
+    result = boxes[0]
+    for box in boxes[1:]:
+        result = result.enclosing(box)
+    return result
+
+
+def total_area(boxes: Iterable[Box]) -> float:
+    """Sum of individual box areas (overlaps counted twice)."""
+    return sum(box.area for box in boxes)
+
+
+def merge_overlapping(boxes: Sequence[Box], iou_threshold: float = 0.0) -> list[Box]:
+    """Greedily merge boxes whose IoU exceeds ``iou_threshold`` (or that
+    touch, when the threshold is 0) into their enclosing rectangles.
+
+    Background-subtraction masks frequently fragment one object into several
+    blobs; this post-processing step mirrors the connected-component merge
+    OpenCV users apply before treating blobs as RoIs.
+    """
+    merged = list(boxes)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(merged)):
+            for j in range(i + 1, len(merged)):
+                first, second = merged[i], merged[j]
+                overlapping = (
+                    first.intersection_area(second) > 0
+                    and first.iou(second) >= iou_threshold
+                )
+                if overlapping:
+                    # Replace the pair with its enclosing rectangle and
+                    # restart; merging can create new overlaps with boxes
+                    # already visited, so a single pass is not enough.
+                    merged[i] = first.enclosing(second)
+                    merged.pop(j)
+                    changed = True
+                    break
+            if changed:
+                break
+    return merged

@@ -1,0 +1,241 @@
+"""Stauffer-Grimson adaptive Gaussian mixture background subtraction.
+
+This is a from-scratch, vectorised numpy implementation of the classic
+per-pixel mixture-of-Gaussians background model (Stauffer & Grimson, CVPR
+1999), the algorithm behind OpenCV's ``BackgroundSubtractorMOG2`` that the
+paper runs on the Jetson edge device.
+
+Every pixel maintains ``num_gaussians`` components ``(weight, mean, var)``.
+For each new frame:
+
+1. a pixel matches a component when the intensity lies within
+   ``match_threshold`` standard deviations of its mean;
+2. matched components are updated toward the observation with learning
+   rate ``learning_rate``; unmatched component weights decay;
+3. if no component matches, the weakest component is replaced by a new one
+   centred on the observation with a large variance;
+4. components are ranked by ``weight / sigma``; the highest-ranked
+   components whose cumulative weight exceeds ``background_ratio`` form the
+   background model, and a pixel is foreground when its matched component
+   is not among them (or when nothing matched).
+
+The module also provides :func:`mask_to_boxes`, which turns the binary
+foreground mask into RoI bounding boxes via connected-component labelling,
+the step the paper performs before Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.video.geometry import Box
+
+
+class GaussianMixtureBackgroundSubtractor:
+    """Adaptive per-pixel mixture-of-Gaussians background model.
+
+    Parameters
+    ----------
+    num_gaussians:
+        Number of mixture components per pixel (the classic paper uses 3-5).
+    learning_rate:
+        Alpha in Stauffer-Grimson; controls how quickly the background
+        adapts.  Higher values absorb stationary objects faster.
+    match_threshold:
+        Match distance in standard deviations (2.5 in the original paper).
+    background_ratio:
+        Minimum cumulative weight of components considered background.
+    initial_variance:
+        Variance assigned to newly created components.
+    min_variance:
+        Lower bound on component variance to keep matching stable.
+    """
+
+    def __init__(
+        self,
+        num_gaussians: int = 3,
+        learning_rate: float = 0.02,
+        match_threshold: float = 2.5,
+        background_ratio: float = 0.8,
+        initial_variance: float = 225.0,
+        min_variance: float = 4.0,
+    ) -> None:
+        if num_gaussians < 1:
+            raise ValueError("num_gaussians must be at least 1")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0 < background_ratio <= 1:
+            raise ValueError("background_ratio must be in (0, 1]")
+        self.num_gaussians = num_gaussians
+        self.learning_rate = learning_rate
+        self.match_threshold = match_threshold
+        self.background_ratio = background_ratio
+        self.initial_variance = initial_variance
+        self.min_variance = min_variance
+        self._weights: Optional[np.ndarray] = None  # (K, H, W)
+        self._means: Optional[np.ndarray] = None
+        self._variances: Optional[np.ndarray] = None
+        self.frames_seen = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def is_initialised(self) -> bool:
+        return self._weights is not None
+
+    def _initialise(self, frame: np.ndarray) -> None:
+        height, width = frame.shape
+        k = self.num_gaussians
+        self._weights = np.zeros((k, height, width), dtype=np.float32)
+        self._means = np.zeros((k, height, width), dtype=np.float32)
+        self._variances = np.full(
+            (k, height, width), self.initial_variance, dtype=np.float32
+        )
+        # Seed the first component with the first frame.
+        self._weights[0] = 1.0
+        self._means[0] = frame
+
+    # ------------------------------------------------------------------ apply
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Update the model with ``frame`` and return the foreground mask.
+
+        Parameters
+        ----------
+        frame:
+            Grayscale image, shape ``(H, W)``, values in [0, 255].
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean mask of foreground pixels, shape ``(H, W)``.
+        """
+        frame = np.asarray(frame, dtype=np.float32)
+        if frame.ndim != 2:
+            raise ValueError(f"expected a grayscale (H, W) frame, got {frame.shape}")
+        if not self.is_initialised:
+            self._initialise(frame)
+            self.frames_seen = 1
+            return np.zeros(frame.shape, dtype=bool)
+
+        weights = self._weights
+        means = self._means
+        variances = self._variances
+        assert weights is not None and means is not None and variances is not None
+
+        sigma = np.sqrt(variances)
+        distance = np.abs(frame[None, :, :] - means)
+        matches = distance <= self.match_threshold * sigma  # (K, H, W)
+
+        # Only the best-matching (highest weight/sigma among matching)
+        # component is updated, per the original formulation.
+        rank = weights / np.maximum(sigma, 1e-6)
+        rank_masked = np.where(matches, rank, -np.inf)
+        best = np.argmax(rank_masked, axis=0)  # (H, W)
+        any_match = matches.any(axis=0)
+
+        k_index = np.arange(self.num_gaussians)[:, None, None]
+        is_best = (k_index == best[None, :, :]) & any_match[None, :, :]
+
+        alpha = self.learning_rate
+        # Weight update: w <- (1 - alpha) w + alpha * ownership.
+        weights *= 1.0 - alpha
+        weights += alpha * is_best.astype(np.float32)
+
+        # Mean / variance update for the owning component.
+        rho = alpha  # The standard simplification rho = alpha.
+        diff = frame[None, :, :] - means
+        means += np.where(is_best, rho * diff, 0.0)
+        variances += np.where(is_best, rho * (diff * diff - variances), 0.0)
+        np.maximum(variances, self.min_variance, out=variances)
+
+        # Replace the weakest component where nothing matched.
+        no_match = ~any_match
+        if np.any(no_match):
+            weakest = np.argmin(weights, axis=0)
+            replace = (k_index == weakest[None, :, :]) & no_match[None, :, :]
+            means[:] = np.where(replace, frame[None, :, :], means)
+            variances[:] = np.where(replace, self.initial_variance, variances)
+            weights[:] = np.where(replace, 0.05, weights)
+
+        # Renormalise weights.
+        weights /= np.maximum(weights.sum(axis=0, keepdims=True), 1e-6)
+
+        # Determine which components form the background.
+        order = np.argsort(-(weights / np.maximum(np.sqrt(variances), 1e-6)), axis=0)
+        sorted_weights = np.take_along_axis(weights, order, axis=0)
+        cumulative = np.cumsum(sorted_weights, axis=0)
+        # Component ranks 0..b are background where cumulative (exclusive)
+        # is still below the ratio.
+        background_sorted = (
+            np.concatenate(
+                [
+                    np.zeros((1,) + cumulative.shape[1:], dtype=np.float32),
+                    cumulative[:-1],
+                ],
+                axis=0,
+            )
+            < self.background_ratio
+        )
+        # Map back to original component order.
+        background_flags = np.zeros_like(background_sorted)
+        np.put_along_axis(background_flags, order, background_sorted, axis=0)
+
+        matched_is_background = np.take_along_axis(
+            background_flags, best[None, :, :], axis=0
+        )[0]
+        foreground = no_match | (any_match & ~matched_is_background)
+
+        self.frames_seen += 1
+        return foreground
+
+    def background_image(self) -> np.ndarray:
+        """Return the current most-probable background estimate."""
+        if not self.is_initialised:
+            raise RuntimeError("background model has not seen any frame yet")
+        assert self._weights is not None and self._means is not None
+        best = np.argmax(self._weights, axis=0)
+        return np.take_along_axis(self._means, best[None, :, :], axis=0)[0]
+
+
+def mask_to_boxes(
+    mask: np.ndarray,
+    min_area: float = 4.0,
+    dilation_iterations: int = 1,
+    merge_touching: bool = True,
+) -> List[Box]:
+    """Convert a boolean foreground mask into RoI bounding boxes.
+
+    Connected components are extracted with an 8-connected structuring
+    element after an optional binary dilation (which joins fragmented
+    blobs, as morphological post-processing does in real pipelines).
+    Components smaller than ``min_area`` pixels are discarded as noise.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError("mask must be two-dimensional")
+    if dilation_iterations > 0:
+        structure = np.ones((3, 3), dtype=bool)
+        mask = ndimage.binary_dilation(
+            mask, structure=structure, iterations=dilation_iterations
+        )
+    labels, count = ndimage.label(mask, structure=np.ones((3, 3), dtype=bool))
+    boxes: List[Box] = []
+    if count == 0:
+        return boxes
+    slices = ndimage.find_objects(labels)
+    for slc in slices:
+        if slc is None:
+            continue
+        rows, cols = slc
+        height = rows.stop - rows.start
+        width = cols.stop - cols.start
+        if height * width < min_area:
+            continue
+        boxes.append(Box(float(cols.start), float(rows.start), float(width), float(height)))
+    if merge_touching and len(boxes) > 1:
+        from repro.video.geometry import merge_overlapping
+
+        boxes = merge_overlapping(boxes)
+    return boxes

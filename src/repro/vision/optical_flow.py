@@ -1,0 +1,114 @@
+"""Block-matching optical-flow RoI extraction.
+
+The paper compares GMM background subtraction against Gunnar Farnebäck's
+dense optical flow as an RoI extractor (Table IV).  A faithful Farnebäck
+implementation (polynomial expansion) is out of proportion for what the
+comparison needs -- a motion-based extractor that finds moving regions
+between consecutive frames and misses stationary ones.  This module
+implements classic block-matching flow: the frame is divided into fixed
+blocks, each block's displacement is estimated by searching a small window
+in the previous frame for the minimum sum-of-absolute-differences, and
+blocks whose displacement magnitude exceeds a threshold are marked moving.
+Moving blocks are merged into RoI boxes the same way the GMM mask is.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.video.geometry import Box
+from repro.vision.gmm import mask_to_boxes
+
+
+class BlockMatchingFlowExtractor:
+    """Motion-based RoI extractor using block-matching optical flow.
+
+    Parameters
+    ----------
+    block_size:
+        Side length, in pixels, of the square blocks flow is estimated for.
+    search_radius:
+        Maximum displacement searched in each direction.
+    motion_threshold:
+        Minimum displacement magnitude (pixels) for a block to be
+        considered moving.
+    difference_threshold:
+        Minimum mean absolute intensity difference for a block to even be
+        considered; blocks identical to the previous frame are skipped,
+        which is what makes this extractor blind to stationary objects.
+    """
+
+    def __init__(
+        self,
+        block_size: int = 8,
+        search_radius: int = 4,
+        motion_threshold: float = 1.0,
+        difference_threshold: float = 3.0,
+    ) -> None:
+        if block_size < 2:
+            raise ValueError("block_size must be at least 2")
+        if search_radius < 1:
+            raise ValueError("search_radius must be at least 1")
+        self.block_size = block_size
+        self.search_radius = search_radius
+        self.motion_threshold = motion_threshold
+        self.difference_threshold = difference_threshold
+        self._previous: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._previous = None
+
+    def apply(self, frame: np.ndarray) -> np.ndarray:
+        """Return a boolean motion mask for ``frame``.
+
+        The first frame produces an all-false mask because there is no
+        reference to compute flow against.
+        """
+        frame = np.asarray(frame, dtype=np.float32)
+        if frame.ndim != 2:
+            raise ValueError("expected a grayscale (H, W) frame")
+        if self._previous is None or self._previous.shape != frame.shape:
+            self._previous = frame
+            return np.zeros(frame.shape, dtype=bool)
+
+        previous = self._previous
+        height, width = frame.shape
+        bs = self.block_size
+        radius = self.search_radius
+        mask = np.zeros(frame.shape, dtype=bool)
+
+        for by in range(0, height - bs + 1, bs):
+            for bx in range(0, width - bs + 1, bs):
+                block = frame[by : by + bs, bx : bx + bs]
+                reference = previous[by : by + bs, bx : bx + bs]
+                if np.mean(np.abs(block - reference)) < self.difference_threshold:
+                    continue
+                best_cost = np.inf
+                best_dx = 0
+                best_dy = 0
+                for dy in range(-radius, radius + 1):
+                    sy = by + dy
+                    if sy < 0 or sy + bs > height:
+                        continue
+                    for dx in range(-radius, radius + 1):
+                        sx = bx + dx
+                        if sx < 0 or sx + bs > width:
+                            continue
+                        candidate = previous[sy : sy + bs, sx : sx + bs]
+                        cost = float(np.sum(np.abs(block - candidate)))
+                        if cost < best_cost:
+                            best_cost = cost
+                            best_dx = dx
+                            best_dy = dy
+                displacement = float(np.hypot(best_dx, best_dy))
+                if displacement >= self.motion_threshold:
+                    mask[by : by + bs, bx : bx + bs] = True
+        self._previous = frame
+        return mask
+
+    def extract_rois(self, frame: np.ndarray, min_area: float = 8.0) -> List[Box]:
+        """Convenience wrapper: motion mask -> merged RoI boxes."""
+        mask = self.apply(frame)
+        return mask_to_boxes(mask, min_area=min_area)

@@ -1,0 +1,25 @@
+"""Workload construction and experiment sweep definitions.
+
+The evaluation sweeps bandwidth (20/40/80 Mbps) against a per-bandwidth SLO
+range (Fig. 12/13) and runs four scheduling strategies at every point.
+This package centralises those grids and the construction of the camera
+traces they run over, so every benchmark regenerates the same workloads
+from the same seeds.
+"""
+
+from repro.workloads.builder import build_camera_traces, default_camera_scenes
+from repro.workloads.sweeps import (
+    SLO_GRID_BY_BANDWIDTH,
+    SweepPoint,
+    end_to_end_sweep,
+    fig12_sweep,
+)
+
+__all__ = [
+    "build_camera_traces",
+    "default_camera_scenes",
+    "SweepPoint",
+    "SLO_GRID_BY_BANDWIDTH",
+    "end_to_end_sweep",
+    "fig12_sweep",
+]

@@ -1,0 +1,128 @@
+"""Tests for the offline baselines (Full Frame, Masked Frame, ELF, Tangram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.offline import (
+    ELFOfflineStrategy,
+    FullFrameStrategy,
+    MaskedFrameStrategy,
+    TangramOfflineStrategy,
+    run_strategy_over_frames,
+)
+from repro.pipeline.offline import compare_strategies_on_scene
+from repro.simulation.random_streams import RandomStreams
+
+
+@pytest.fixture(scope="module")
+def frames(scene01_frames):
+    return scene01_frames[:10]
+
+
+def test_full_frame_uploads_whole_frame(frames):
+    strategy = FullFrameStrategy(streams=RandomStreams(1))
+    record = strategy.process_frame(frames[0])
+    assert record.uploaded_bytes > 1_000_000  # ~1.2 MB for a 4K frame at 1.2 bpp
+    assert record.num_requests == 1
+    assert record.cost > 0
+
+
+def test_masked_frame_uses_less_bandwidth_than_full(frames):
+    masked = MaskedFrameStrategy(streams=RandomStreams(2))
+    full = FullFrameStrategy(streams=RandomStreams(2))
+    masked_bytes = sum(r.uploaded_bytes for r in run_strategy_over_frames(masked, frames))
+    full_bytes = sum(r.uploaded_bytes for r in run_strategy_over_frames(full, frames))
+    assert masked_bytes < 0.6 * full_bytes
+
+
+def test_masked_frame_costs_slightly_less_than_full(frames):
+    """Masking saves only the non-RoI share of compute (Table I), so the
+    cost gap to Full Frame is modest -- that is the paper's point about
+    masking being insufficient."""
+    masked = MaskedFrameStrategy(streams=RandomStreams(3))
+    full = FullFrameStrategy(streams=RandomStreams(3))
+    masked_cost = sum(r.cost for r in run_strategy_over_frames(masked, frames))
+    full_cost = sum(r.cost for r in run_strategy_over_frames(full, frames))
+    assert masked_cost < full_cost
+    assert masked_cost > 0.6 * full_cost
+
+
+def test_elf_invokes_once_per_patch(frames):
+    strategy = ELFOfflineStrategy(streams=RandomStreams(4))
+    record = strategy.process_frame(frames[0])
+    assert record.num_requests == record.num_patches
+    assert record.num_requests > 1
+    assert len(record.execution_times) == record.num_requests
+
+
+def test_tangram_single_request_per_frame(frames):
+    strategy = TangramOfflineStrategy(streams=RandomStreams(5))
+    record = strategy.process_frame(frames[0])
+    assert record.num_requests == 1
+    assert record.num_canvases >= 1
+    assert record.num_patches > 1
+
+
+def test_cost_ordering_matches_fig8(frames):
+    """Fig. 8: Tangram < Masked Frame < Full Frame and ELF is the most
+    expensive of the patch-based methods."""
+    comparison = compare_strategies_on_scene("scene_01", frames, seed=7)
+    costs = {name: s.total_cost for name, s in comparison.summaries.items()}
+    assert costs["tangram"] < costs["masked_frame"]
+    assert costs["tangram"] < costs["full_frame"]
+    assert costs["tangram"] < costs["elf"]
+    assert costs["elf"] > costs["masked_frame"]
+
+
+def test_bandwidth_ordering_matches_fig9(frames):
+    """Fig. 9: Full Frame transmits several times more than Tangram; the
+    masked frame and ELF are in the same ballpark as Tangram."""
+    comparison = compare_strategies_on_scene("scene_01", frames, seed=8)
+    normalised = comparison.normalised_bandwidth(reference="tangram")
+    assert normalised["tangram"] == pytest.approx(1.0)
+    assert normalised["full_frame"] > 2.0
+    assert 0.5 < normalised["masked_frame"] < 1.6
+    assert 0.7 < normalised["elf"] < 1.3
+
+
+def test_tangram_bandwidth_reduction_vs_full_frame(frames):
+    """The headline bandwidth claim: 4x4 partitioning transmits well under
+    half of the full-frame bytes on a sparse scene like scene_01."""
+    comparison = compare_strategies_on_scene("scene_01", frames, seed=9)
+    fraction = comparison.bandwidth_vs_full_frame("tangram")
+    assert fraction < 0.6
+
+
+def test_records_tag_strategy_and_scene(frames):
+    strategy = FullFrameStrategy(streams=RandomStreams(10))
+    records = run_strategy_over_frames(strategy, frames)
+    assert all(record.strategy == "full_frame" for record in records)
+    assert all(record.scene_key == "scene_01" for record in records)
+    assert [record.frame_index for record in records] == [f.frame_index for f in frames]
+
+
+def test_unknown_strategy_name_rejected(frames):
+    with pytest.raises(KeyError):
+        compare_strategies_on_scene("scene_01", frames, strategies=["bogus"])
+
+
+def test_strategy_subset_supported(frames):
+    comparison = compare_strategies_on_scene(
+        "scene_01", frames, strategies=["tangram", "full_frame"]
+    )
+    assert set(comparison.summaries) == {"tangram", "full_frame"}
+
+
+def test_masked_frame_unknown_scene_falls_back(scene01_frames):
+    from repro.video.frames import Frame
+
+    frame = scene01_frames[0]
+    unknown = Frame(
+        scene_key="not_a_scene", frame_index=0, timestamp=0.0,
+        width=frame.width, height=frame.height, objects=frame.objects,
+    )
+    strategy = MaskedFrameStrategy(streams=RandomStreams(11))
+    record = strategy.process_frame(unknown)
+    assert record.cost > 0

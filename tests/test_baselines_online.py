@@ -1,0 +1,196 @@
+"""Tests for the online baseline schedulers (Clipper, MArk, ELF)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.clipper import ClipperScheduler
+from repro.baselines.elf import ELFScheduler
+from repro.baselines.mark import MArkScheduler
+from repro.serverless.platform import ServerlessPlatform
+from repro.simulation.engine import Simulator
+from repro.simulation.random_streams import RandomStreams
+from tests.conftest import make_patch
+
+
+def _platform(simulator: Simulator) -> ServerlessPlatform:
+    return ServerlessPlatform(simulator, cold_start_time=0.0)
+
+
+class TestELFScheduler:
+    def test_one_invocation_per_patch(self):
+        simulator = Simulator()
+        scheduler = ELFScheduler(simulator, _platform(simulator), streams=RandomStreams(1))
+        for index in range(5):
+            patch = make_patch(200, 300, generation_time=0.0, slo=1.0)
+            simulator.schedule_at(0.01 * index, lambda sim, p=patch: scheduler.receive_patch(p))
+        simulator.run()
+        assert len(scheduler.completed_batches) == 5
+        assert all(batch.num_patches == 1 for batch in scheduler.completed_batches)
+
+    def test_no_waiting_latency(self):
+        simulator = Simulator()
+        scheduler = ELFScheduler(simulator, _platform(simulator), streams=RandomStreams(2))
+        patch = make_patch(200, 300, generation_time=0.0, slo=1.0)
+        simulator.schedule_at(0.1, lambda sim: scheduler.receive_patch(patch))
+        simulator.run()
+        batch = scheduler.completed_batches[0]
+        assert batch.invoke_time == pytest.approx(0.1)
+
+    def test_flush_is_a_noop(self):
+        simulator = Simulator()
+        scheduler = ELFScheduler(simulator, _platform(simulator), streams=RandomStreams(3))
+        scheduler.flush()
+        assert scheduler.batches == []
+
+
+class TestMArkScheduler:
+    def test_dispatch_on_batch_size(self):
+        simulator = Simulator()
+        scheduler = MArkScheduler(
+            simulator, _platform(simulator), batch_size=3, timeout=10.0,
+            streams=RandomStreams(4),
+        )
+        for index in range(6):
+            patch = make_patch(200, 200, generation_time=0.0, slo=5.0)
+            simulator.schedule_at(0.01 * index, lambda sim, p=patch: scheduler.receive_patch(p))
+        simulator.run()
+        assert len(scheduler.completed_batches) == 2
+        assert all(batch.num_patches == 3 for batch in scheduler.completed_batches)
+
+    def test_dispatch_on_timeout(self):
+        simulator = Simulator()
+        scheduler = MArkScheduler(
+            simulator, _platform(simulator), batch_size=100, timeout=0.2,
+            streams=RandomStreams(5),
+        )
+        patch = make_patch(200, 200, generation_time=0.0, slo=5.0)
+        simulator.schedule_at(0.0, lambda sim: scheduler.receive_patch(patch))
+        simulator.run()
+        assert len(scheduler.completed_batches) == 1
+        assert scheduler.completed_batches[0].invoke_time == pytest.approx(0.2)
+
+    def test_fixed_input_size_wastes_pixels_for_small_patches(self):
+        """The padding cost: a 200x200 patch occupies a 640x640 input."""
+        simulator = Simulator()
+        scheduler = MArkScheduler(
+            simulator, _platform(simulator), batch_size=1, timeout=1.0,
+            input_size=640.0, streams=RandomStreams(6),
+        )
+        patch = make_patch(200, 200, generation_time=0.0, slo=5.0)
+        simulator.schedule_at(0.0, lambda sim: scheduler.receive_patch(patch))
+        simulator.run()
+        batch = scheduler.completed_batches[0]
+        assert batch.total_canvas_pixels == pytest.approx(640 * 640)
+        assert batch.total_patch_pixels == pytest.approx(200 * 200)
+
+    def test_oversized_patch_handled(self):
+        simulator = Simulator()
+        scheduler = MArkScheduler(
+            simulator, _platform(simulator), batch_size=1, timeout=1.0,
+            streams=RandomStreams(7),
+        )
+        patch = make_patch(900, 1500, generation_time=0.0, slo=5.0)
+        simulator.schedule_at(0.0, lambda sim: scheduler.receive_patch(patch))
+        simulator.run()
+        assert scheduler.completed_batches[0].num_patches == 1
+
+    def test_flush_dispatches_remaining(self):
+        simulator = Simulator()
+        scheduler = MArkScheduler(
+            simulator, _platform(simulator), batch_size=10, timeout=100.0,
+            streams=RandomStreams(8),
+        )
+        patch = make_patch(200, 200, generation_time=0.0, slo=5.0)
+        simulator.schedule_at(0.0, lambda sim: scheduler.receive_patch(patch))
+        simulator.run(until=0.01)
+        scheduler.flush()
+        simulator.run()
+        assert len(scheduler.completed_batches) == 1
+
+    def test_invalid_parameters_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            MArkScheduler(simulator, _platform(simulator), batch_size=0)
+        with pytest.raises(ValueError):
+            MArkScheduler(simulator, _platform(simulator), timeout=0.0)
+        with pytest.raises(ValueError):
+            MArkScheduler(simulator, _platform(simulator), input_size=0.0)
+
+
+class TestClipperScheduler:
+    def test_dispatch_when_target_reached(self):
+        simulator = Simulator()
+        scheduler = ClipperScheduler(
+            simulator, _platform(simulator), initial_batch_size=2,
+            streams=RandomStreams(9),
+        )
+        for index in range(4):
+            patch = make_patch(200, 200, generation_time=0.0, slo=5.0)
+            simulator.schedule_at(0.01 * index, lambda sim, p=patch: scheduler.receive_patch(p))
+        simulator.run()
+        scheduler.flush()
+        simulator.run()
+        assert sum(b.num_patches for b in scheduler.completed_batches) == 4
+
+    def test_deadline_guard_prevents_starvation(self):
+        """A lone patch must still be dispatched before its deadline even
+        though the AIMD target is larger than one."""
+        simulator = Simulator()
+        scheduler = ClipperScheduler(
+            simulator, _platform(simulator), initial_batch_size=8,
+            streams=RandomStreams(10),
+        )
+        patch = make_patch(200, 200, generation_time=0.0, slo=1.0)
+        simulator.schedule_at(0.0, lambda sim: scheduler.receive_patch(patch))
+        simulator.run()
+        assert len(scheduler.completed_batches) == 1
+        assert scheduler.completed_batches[0].invoke_time < 1.0
+
+    def test_aimd_increases_batch_target_on_success(self):
+        simulator = Simulator()
+        scheduler = ClipperScheduler(
+            simulator, _platform(simulator), initial_batch_size=2,
+            streams=RandomStreams(11),
+        )
+        initial = scheduler.batch_size_target
+        for index in range(6):
+            patch = make_patch(150, 150, generation_time=0.01 * index, slo=5.0)
+            simulator.schedule_at(0.01 * index, lambda sim, p=patch: scheduler.receive_patch(p))
+        simulator.run()
+        assert scheduler.batch_size_target > initial
+
+    def test_aimd_decreases_batch_target_on_violation(self):
+        simulator = Simulator()
+        scheduler = ClipperScheduler(
+            simulator, _platform(simulator), initial_batch_size=4,
+            streams=RandomStreams(12),
+        )
+        # Patches that are already nearly expired: the invocation will
+        # violate their SLOs and AIMD must back off.
+        for index in range(4):
+            patch = make_patch(600, 600, generation_time=0.0, slo=0.05)
+            simulator.schedule_at(0.04, lambda sim, p=patch: scheduler.receive_patch(p))
+        simulator.run()
+        assert scheduler.batch_size_target < 4
+
+    def test_batch_never_exceeds_max(self):
+        simulator = Simulator()
+        scheduler = ClipperScheduler(
+            simulator, _platform(simulator), initial_batch_size=4, max_batch_size=6,
+            streams=RandomStreams(13),
+        )
+        for index in range(20):
+            patch = make_patch(150, 150, generation_time=0.0, slo=5.0)
+            simulator.schedule_at(0.001 * index, lambda sim, p=patch: scheduler.receive_patch(p))
+        simulator.run()
+        scheduler.flush()
+        simulator.run()
+        assert all(b.num_patches <= 6 for b in scheduler.completed_batches)
+
+    def test_invalid_parameters_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            ClipperScheduler(simulator, _platform(simulator), input_size=0.0)
+        with pytest.raises(ValueError):
+            ClipperScheduler(simulator, _platform(simulator), initial_batch_size=0)

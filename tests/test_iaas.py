@@ -1,0 +1,73 @@
+"""Tests for the statically provisioned IaaS GPU server (Fig. 2(b) substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serverless.iaas import IaaSGPUServer
+from repro.simulation.engine import Simulator
+from repro.simulation.random_streams import RandomStreams
+
+
+def test_single_request_latency_close_to_service_time():
+    simulator = Simulator()
+    server = IaaSGPUServer(simulator, streams=RandomStreams(0))
+    server.submit_roi_batch("camera-0", num_rois=50, total_pixels=0.4e6)
+    simulator.run()
+    assert len(server.records) == 1
+    assert 0.02 < server.records[0].latency < 0.12
+
+
+def test_empty_batch_is_ignored():
+    simulator = Simulator()
+    server = IaaSGPUServer(simulator, streams=RandomStreams(0))
+    server.submit_roi_batch("camera-0", num_rois=0, total_pixels=0.0)
+    simulator.run()
+    assert server.records == []
+
+
+def test_latency_grows_under_contention():
+    """The core Fig. 2(b) effect: more concurrent cameras, longer waits."""
+
+    def mean_latency(num_requests: int) -> float:
+        simulator = Simulator()
+        server = IaaSGPUServer(simulator, streams=RandomStreams(1))
+        for _ in range(num_requests):
+            server.submit_roi_batch("camera", num_rois=80, total_pixels=0.5e6)
+        simulator.run()
+        return server.mean_latency
+
+    assert mean_latency(10) > mean_latency(1) * 2
+
+
+def test_more_gpus_reduce_queueing():
+    def run(num_gpus: int) -> float:
+        simulator = Simulator()
+        server = IaaSGPUServer(simulator, num_gpus=num_gpus, streams=RandomStreams(2))
+        for _ in range(8):
+            server.submit_roi_batch("camera", num_rois=80, total_pixels=0.5e6)
+        simulator.run()
+        return server.mean_latency
+
+    assert run(2) < run(1)
+
+
+def test_rental_cost_scales_with_time():
+    simulator = Simulator()
+    server = IaaSGPUServer(simulator, hourly_cost=3.6)
+    assert server.rental_cost(3600) == pytest.approx(3.6)
+    assert server.rental_cost(1800) == pytest.approx(1.8)
+    with pytest.raises(ValueError):
+        server.rental_cost(-1)
+
+
+def test_mean_latency_of_empty_server_is_zero():
+    simulator = Simulator()
+    server = IaaSGPUServer(simulator)
+    assert server.mean_latency == 0.0
+    assert server.mean_latency_ms == 0.0
+
+
+def test_invalid_gpu_count_rejected():
+    with pytest.raises(ValueError):
+        IaaSGPUServer(Simulator(), num_gpus=0)

@@ -1,0 +1,96 @@
+"""Tests for the network link models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.link import NetworkLink, Uplink
+from repro.simulation.engine import Simulator
+
+
+class TestNetworkLink:
+    def test_transfer_time_scales_with_size(self):
+        link = NetworkLink(bandwidth_mbps=8.0, propagation_delay=0.0)
+        assert link.transfer_time(1_000_000) == pytest.approx(1.0)
+        assert link.transfer_time(2_000_000) == pytest.approx(2.0)
+
+    def test_propagation_delay_added(self):
+        link = NetworkLink(bandwidth_mbps=8.0, propagation_delay=0.01)
+        assert link.transfer_time(0) == pytest.approx(0.01)
+
+    def test_higher_bandwidth_is_faster(self):
+        slow = NetworkLink(bandwidth_mbps=20.0, propagation_delay=0.0)
+        fast = NetworkLink(bandwidth_mbps=80.0, propagation_delay=0.0)
+        assert fast.transfer_time(1_000_000) < slow.transfer_time(1_000_000)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_mbps=10.0, propagation_delay=-1.0)
+        with pytest.raises(ValueError):
+            NetworkLink(10.0).transfer_time(-5)
+
+    def test_jitter_perturbs_but_preserves_scale(self):
+        link = NetworkLink(bandwidth_mbps=8.0, propagation_delay=0.0, jitter_cv=0.1)
+        times = [link.transfer_time(1_000_000) for _ in range(200)]
+        assert min(times) != max(times)
+        assert 0.7 < sum(times) / len(times) < 1.3
+
+
+class TestUplink:
+    def test_single_transmission_delivery_time(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=8.0, propagation_delay=0.0)
+        delivered = []
+        uplink.send(1_000_000, payload="frame", on_delivered=lambda r: delivered.append(r))
+        simulator.run()
+        assert len(delivered) == 1
+        assert delivered[0].finish_time == pytest.approx(1.0)
+        assert delivered[0].payload == "frame"
+
+    def test_transmissions_queue_fifo(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=8.0, propagation_delay=0.0)
+        finishes = []
+        for _ in range(3):
+            uplink.send(500_000, on_delivered=lambda r: finishes.append(r.finish_time))
+        simulator.run()
+        assert finishes == pytest.approx([0.5, 1.0, 1.5])
+
+    def test_propagation_delay_delays_delivery_not_link_occupancy(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=8.0, propagation_delay=0.1)
+        delivered_at = []
+        uplink.send(500_000, on_delivered=lambda r: delivered_at.append(simulator.now))
+        uplink.send(500_000, on_delivered=lambda r: delivered_at.append(simulator.now))
+        simulator.run()
+        # Serialisation finishes at 0.5 and 1.0; delivery 0.1 later.
+        assert delivered_at == pytest.approx([0.6, 1.1])
+
+    def test_total_bytes_and_records(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=10.0)
+        uplink.send(1000)
+        uplink.send(2000)
+        simulator.run()
+        assert uplink.total_bytes == 3000
+        assert len(uplink.records) == 2
+        assert all(record.queueing_delay >= 0 for record in uplink.records)
+
+    def test_queueing_delay_recorded(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=8.0, propagation_delay=0.0)
+        uplink.send(1_000_000)
+        uplink.send(1_000_000)
+        simulator.run()
+        assert uplink.records[0].queueing_delay == pytest.approx(0.0)
+        assert uplink.records[1].queueing_delay == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            Uplink(simulator, bandwidth_mbps=0.0)
+        uplink = Uplink(simulator, bandwidth_mbps=10.0)
+        with pytest.raises(ValueError):
+            uplink.send(-1)

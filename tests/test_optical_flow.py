@@ -1,0 +1,74 @@
+"""Tests for the block-matching optical-flow RoI extractor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vision.optical_flow import BlockMatchingFlowExtractor
+
+
+def _frame_with_square(position: int, size: int = 8, shape=(48, 48)) -> np.ndarray:
+    frame = np.full(shape, 100.0, dtype=np.float32)
+    frame[position : position + size, position : position + size] = 200.0
+    return frame
+
+
+def test_first_frame_has_no_motion():
+    extractor = BlockMatchingFlowExtractor()
+    mask = extractor.apply(_frame_with_square(10))
+    assert not mask.any()
+
+
+def test_moving_square_produces_motion_mask():
+    extractor = BlockMatchingFlowExtractor(block_size=8, search_radius=4)
+    extractor.apply(_frame_with_square(10))
+    mask = extractor.apply(_frame_with_square(14))
+    assert mask.any()
+    # Motion should be concentrated around the square, not the far corner.
+    assert mask[:8, 40:].sum() == 0
+
+
+def test_static_scene_produces_no_motion():
+    extractor = BlockMatchingFlowExtractor()
+    frame = _frame_with_square(10)
+    extractor.apply(frame)
+    mask = extractor.apply(frame.copy())
+    assert not mask.any()
+
+
+def test_extract_rois_returns_boxes_for_moving_object():
+    extractor = BlockMatchingFlowExtractor(block_size=8, search_radius=4)
+    extractor.apply(_frame_with_square(8))
+    boxes = extractor.extract_rois(_frame_with_square(12))
+    assert len(boxes) >= 1
+    assert all(box.area >= 8 for box in boxes)
+
+
+def test_reset_forgets_previous_frame():
+    extractor = BlockMatchingFlowExtractor()
+    extractor.apply(_frame_with_square(10))
+    extractor.reset()
+    mask = extractor.apply(_frame_with_square(20))
+    assert not mask.any()
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BlockMatchingFlowExtractor(block_size=1)
+    with pytest.raises(ValueError):
+        BlockMatchingFlowExtractor(search_radius=0)
+
+
+def test_non_grayscale_frame_rejected():
+    extractor = BlockMatchingFlowExtractor()
+    with pytest.raises(ValueError):
+        extractor.apply(np.zeros((8, 8, 3)))
+
+
+def test_frame_size_change_resets_reference():
+    extractor = BlockMatchingFlowExtractor()
+    extractor.apply(np.full((32, 32), 100.0))
+    mask = extractor.apply(np.full((48, 48), 100.0))
+    assert mask.shape == (48, 48)
+    assert not mask.any()

@@ -1,0 +1,87 @@
+"""Tests for the accuracy pipeline (Table III, Table IV helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.accuracy import (
+    full_frame_ap,
+    partition_accuracy,
+    roi_method_comparison,
+    roi_only_accuracy,
+)
+from repro.pipeline.offline import (
+    canvas_efficiency_per_frame,
+    partition_bandwidth_fraction,
+    patches_per_frame,
+)
+
+
+@pytest.fixture(scope="module")
+def frames(scene01_frames):
+    return scene01_frames[6:14]
+
+
+def test_full_frame_ap_in_valid_range(frames):
+    ap = full_frame_ap(frames, seed=1)
+    assert 0.3 < ap < 0.95
+
+
+def test_partition_accuracy_close_to_full_frame(frames):
+    """Table III: partitioning costs at most a few points of AP."""
+    full = full_frame_ap(frames, seed=2)
+    partitioned = partition_accuracy(frames, zones=4, seed=2)
+    assert partitioned >= full - 0.15
+    assert partitioned <= full + 0.1
+
+
+def test_finer_partition_does_not_gain_accuracy(frames):
+    coarse = partition_accuracy(frames, zones=2, seed=3)
+    fine = partition_accuracy(frames, zones=6, seed=3)
+    assert fine <= coarse + 0.06
+
+
+def test_partition_improves_over_roi_only(frames):
+    """Table IV: adding the adaptive partitioning on top of any RoI
+    extractor improves AP (the "+Partition" column beats "RoI")."""
+    roi = roi_only_accuracy(frames, roi_method="gmm", seed=4)
+    partitioned = partition_accuracy(frames, zones=4, roi_method="gmm", seed=4)
+    assert partitioned > roi
+
+
+def test_gmm_beats_lightweight_detectors_for_roi_extraction(frames):
+    """Table IV row ordering: GMM has the best RoI-only AP."""
+    gmm = roi_only_accuracy(frames, roi_method="gmm", seed=5)
+    yolo = roi_only_accuracy(frames, roi_method="yolov3_mobilenetv2", seed=5)
+    assert gmm > yolo
+
+
+def test_roi_method_comparison_row_fields(frames):
+    row = roi_method_comparison(frames, method="gmm", zones=4, seed=6)
+    assert row.method == "gmm"
+    assert 0.0 < row.roi_only_ap <= 1.0
+    assert 0.0 < row.partition_ap <= 1.0
+    assert 0.0 < row.bandwidth_fraction < 1.0
+    assert row.partition_ap > row.roi_only_ap
+
+
+def test_partition_bandwidth_fraction_decreases_with_zones(frames):
+    """Table II trend."""
+    coarse = partition_bandwidth_fraction(frames, zones=2, seed=7)
+    medium = partition_bandwidth_fraction(frames, zones=4, seed=7)
+    fine = partition_bandwidth_fraction(frames, zones=6, seed=7)
+    assert coarse >= medium >= fine
+    assert fine < 0.6
+
+
+def test_patches_per_frame_in_paper_range(frames):
+    """Fig. 10(a): 4x4 partitioning yields roughly 6-16 patches per frame."""
+    counts = patches_per_frame(frames, zones=4, seed=8)
+    assert len(counts) == len(frames)
+    assert all(1 <= count <= 16 for count in counts)
+
+
+def test_canvas_efficiency_per_frame_in_range(frames):
+    efficiencies = canvas_efficiency_per_frame(frames, zones=4, seed=9)
+    assert efficiencies
+    assert all(0.0 < value <= 1.0 for value in efficiencies)

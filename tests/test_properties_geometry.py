@@ -1,0 +1,92 @@
+"""Property-based tests for the Box geometry invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.geometry import Box, enclosing_box, merge_overlapping
+
+coordinates = st.floats(min_value=0.0, max_value=4000.0, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.5, max_value=2000.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def boxes(draw) -> Box:
+    return Box(draw(coordinates), draw(coordinates), draw(sizes), draw(sizes))
+
+
+@given(boxes(), boxes())
+def test_iou_is_symmetric(a: Box, b: Box):
+    assert abs(a.iou(b) - b.iou(a)) < 1e-9
+
+
+@given(boxes(), boxes())
+def test_iou_bounded_in_unit_interval(a: Box, b: Box):
+    assert 0.0 <= a.iou(b) <= 1.0 + 1e-9
+
+
+@given(boxes())
+def test_iou_with_self_is_one(a: Box):
+    assert abs(a.iou(a) - 1.0) < 1e-9
+
+
+@given(boxes(), boxes())
+def test_intersection_area_bounded_by_each_box(a: Box, b: Box):
+    overlap = a.intersection_area(b)
+    assert overlap <= a.area + 1e-6
+    assert overlap <= b.area + 1e-6
+
+
+@given(boxes(), boxes())
+def test_enclosing_contains_both(a: Box, b: Box):
+    enclosing = a.enclosing(b)
+    assert enclosing.contains_box(a)
+    assert enclosing.contains_box(b)
+    assert enclosing.area >= max(a.area, b.area) - 1e-6
+
+
+@given(st.lists(boxes(), min_size=1, max_size=12))
+def test_enclosing_box_of_list_contains_all(box_list):
+    enclosing = enclosing_box(box_list)
+    for box in box_list:
+        assert enclosing.contains_box(box)
+
+
+@given(boxes(), st.floats(min_value=0.1, max_value=4.0))
+def test_scaling_scales_area_quadratically(a: Box, factor: float):
+    scaled = a.scale(factor)
+    assert abs(scaled.area - a.area * factor * factor) < 1e-3 * max(1.0, a.area)
+
+
+@given(boxes(), coordinates, coordinates)
+def test_translation_preserves_area(a: Box, dx: float, dy: float):
+    assert abs(a.translate(dx, dy).area - a.area) < 1e-9
+
+
+@given(boxes())
+def test_clip_to_frame_never_grows(a: Box):
+    clipped = a.clip_to(3840, 2160)
+    if clipped is not None:
+        assert clipped.area <= a.area + 1e-6
+        assert clipped.x >= 0 and clipped.y >= 0
+        assert clipped.x2 <= 3840 + 1e-6 and clipped.y2 <= 2160 + 1e-6
+
+
+@settings(max_examples=50)
+@given(st.lists(boxes(), min_size=0, max_size=10))
+def test_merge_overlapping_covers_all_inputs(box_list):
+    merged = merge_overlapping(box_list)
+    assert len(merged) <= len(box_list) or not box_list
+    # Every original box is fully contained in some merged box.
+    for original in box_list:
+        assert any(result.contains_box(original) for result in merged)
+
+
+@settings(max_examples=50)
+@given(st.lists(boxes(), min_size=2, max_size=8))
+def test_merged_boxes_are_pairwise_disjoint(box_list):
+    merged = merge_overlapping(box_list)
+    for i in range(len(merged)):
+        for j in range(i + 1, len(merged)):
+            assert merged[i].intersection_area(merged[j]) < 1e-6

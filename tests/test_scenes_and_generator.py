@@ -1,0 +1,128 @@
+"""Tests for the scene profiles and the synthetic scene generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.random_streams import RandomStreams
+from repro.video.generator import SceneGenerator
+from repro.video.scenes import PANDA4K_SCENES, all_scene_keys, get_scene
+
+
+class TestSceneProfiles:
+    def test_ten_scenes_defined(self):
+        assert len(PANDA4K_SCENES) == 10
+        assert all_scene_keys() == sorted(PANDA4K_SCENES)
+
+    def test_lookup_by_index_and_key(self):
+        assert get_scene(1).name == "University Canteen"
+        assert get_scene("scene_10").name == "Huaqiangbei"
+
+    def test_unknown_scene_raises(self):
+        with pytest.raises(KeyError):
+            get_scene("scene_99")
+
+    def test_table1_roi_proportions_in_expected_range(self):
+        # Table I: RoI proportions range from ~2.6% to ~14.2%.
+        for profile in PANDA4K_SCENES.values():
+            assert 0.02 <= profile.roi_area_fraction <= 0.15
+
+    def test_train_eval_split_matches_paper(self):
+        # The paper trains on the first 100 frames of each scene; the
+        # evaluation frame counts are listed in Fig. 8's x-axis labels.
+        expected_eval = {
+            "scene_01": 134, "scene_02": 134, "scene_03": 134, "scene_04": 48,
+            "scene_05": 33, "scene_06": 122, "scene_07": 80, "scene_08": 134,
+            "scene_09": 134, "scene_10": 134,
+        }
+        for key, expected in expected_eval.items():
+            profile = get_scene(key)
+            assert profile.train_frames == 100
+            assert profile.eval_frames == expected
+
+    def test_mean_object_area_positive(self):
+        for profile in PANDA4K_SCENES.values():
+            assert profile.mean_object_area > 0
+
+    def test_frame_dimensions_are_4k(self):
+        for profile in PANDA4K_SCENES.values():
+            assert profile.frame_width == 3840
+            assert profile.frame_height == 2160
+
+
+class TestSceneGenerator:
+    def test_generates_requested_number_of_frames(self, scene01_frames):
+        assert len(scene01_frames) == 20
+
+    def test_frames_carry_scene_key_and_indices(self, scene01_frames):
+        assert all(frame.scene_key == "scene_01" for frame in scene01_frames)
+        assert [frame.frame_index for frame in scene01_frames] == list(range(20))
+
+    def test_objects_within_frame_bounds(self, scene01_frames):
+        for frame in scene01_frames:
+            for obj in frame.objects:
+                assert obj.box.x >= 0
+                assert obj.box.y >= 0
+                assert obj.box.x2 <= frame.width + 1e-6
+                assert obj.box.y2 <= frame.height + 1e-6
+
+    def test_roi_proportion_tracks_profile(self, scene01_frames):
+        profile = get_scene("scene_01")
+        mean_prop = np.mean([frame.roi_proportion for frame in scene01_frames])
+        assert mean_prop == pytest.approx(profile.roi_area_fraction, rel=0.35)
+
+    def test_sparser_scene_has_fewer_objects(self, scene01_frames, scene05_frames):
+        dense = np.mean([frame.num_objects for frame in scene01_frames])
+        sparse = np.mean([frame.num_objects for frame in scene05_frames])
+        assert sparse < dense
+
+    def test_same_seed_is_deterministic(self):
+        a = SceneGenerator(get_scene("scene_02"), streams=RandomStreams(5)).generate(5)
+        b = SceneGenerator(get_scene("scene_02"), streams=RandomStreams(5)).generate(5)
+        for frame_a, frame_b in zip(a, b):
+            assert frame_a.num_objects == frame_b.num_objects
+            for obj_a, obj_b in zip(frame_a.objects, frame_b.objects):
+                assert obj_a.box.as_tuple() == pytest.approx(obj_b.box.as_tuple())
+
+    def test_different_seeds_differ(self):
+        a = SceneGenerator(get_scene("scene_02"), streams=RandomStreams(5)).generate(5)
+        b = SceneGenerator(get_scene("scene_02"), streams=RandomStreams(6)).generate(5)
+        assert any(
+            frame_a.num_objects != frame_b.num_objects
+            or any(
+                obj_a.box.as_tuple() != obj_b.box.as_tuple()
+                for obj_a, obj_b in zip(frame_a.objects, frame_b.objects)
+            )
+            for frame_a, frame_b in zip(a, b)
+        )
+
+    def test_max_concurrent_objects_cap(self):
+        generator = SceneGenerator(
+            get_scene("scene_10"), streams=RandomStreams(2), max_concurrent_objects=40
+        )
+        frames = generator.generate(5)
+        assert all(frame.num_objects <= 40 * 1.8 for frame in frames)
+
+    def test_objects_move_between_frames(self, scene01_frames):
+        motions = [obj.motion for frame in scene01_frames[1:] for obj in frame.objects]
+        assert np.mean(motions) > 0.5
+
+    def test_object_count_fluctuates(self, scene01_frames):
+        counts = [frame.num_objects for frame in scene01_frames]
+        assert max(counts) > min(counts)
+
+    def test_start_index_offsets_frame_indices(self):
+        generator = SceneGenerator(get_scene("scene_03"), streams=RandomStreams(4))
+        frames = generator.generate(num_frames=3, start_index=100)
+        assert [frame.frame_index for frame in frames] == [100, 101, 102]
+
+    def test_negative_num_frames_rejected(self):
+        generator = SceneGenerator(get_scene("scene_01"), streams=RandomStreams(1))
+        with pytest.raises(ValueError):
+            generator.generate(num_frames=-1)
+
+    def test_contrast_within_unit_interval(self, scene01_frames):
+        for frame in scene01_frames:
+            for obj in frame.objects:
+                assert 0.0 <= obj.contrast <= 1.0

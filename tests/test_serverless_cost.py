@@ -1,0 +1,103 @@
+"""Tests for the Alibaba Function Compute billing model (Eqn. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serverless.cost import (
+    PRICE_PER_GB_GPU_MEMORY_SECOND,
+    PRICE_PER_GB_MEMORY_SECOND,
+    PRICE_PER_REQUEST,
+    PRICE_PER_VCPU_SECOND,
+    AlibabaCostModel,
+    FunctionResources,
+)
+
+
+def test_paper_unit_prices():
+    assert PRICE_PER_VCPU_SECOND == pytest.approx(2.138e-5)
+    assert PRICE_PER_GB_MEMORY_SECOND == pytest.approx(2.138e-5)
+    assert PRICE_PER_GB_GPU_MEMORY_SECOND == pytest.approx(1.05e-4)
+    assert PRICE_PER_REQUEST == pytest.approx(2e-7)
+
+
+def test_default_resources_match_paper_configuration():
+    resources = FunctionResources()
+    assert resources.vcpu == 2.0
+    assert resources.memory_gb == 4.0
+    assert resources.gpu_memory_gb == 6.0
+    assert resources.concurrency == 1
+
+
+def test_cost_rate_formula():
+    resources = FunctionResources()
+    expected = 2 * 2.138e-5 + 4 * 2.138e-5 + 6 * 1.05e-4
+    assert resources.cost_rate_per_second == pytest.approx(expected)
+
+
+def test_invocation_cost_equation_one():
+    model = AlibabaCostModel(round_up_to=0.0)
+    execution = 0.5
+    expected = execution * FunctionResources().cost_rate_per_second + 2e-7
+    assert model.invocation_cost(execution) == pytest.approx(expected)
+
+
+def test_cost_scales_linearly_with_time():
+    model = AlibabaCostModel(round_up_to=0.0)
+    one = model.invocation_cost(1.0) - PRICE_PER_REQUEST
+    two = model.invocation_cost(2.0) - PRICE_PER_REQUEST
+    assert two == pytest.approx(2 * one)
+
+
+def test_rounding_up_to_billing_granularity():
+    model = AlibabaCostModel(round_up_to=1.0)
+    # 0.3 s execution is billed as a full second.
+    assert model.billed_duration(0.3) == 1.0
+    assert model.billed_duration(1.0) == 1.0
+    assert model.billed_duration(1.2) == 2.0
+
+
+def test_default_millisecond_granularity_is_close_to_exact():
+    model = AlibabaCostModel()
+    assert model.billed_duration(0.1234) == pytest.approx(0.124, abs=1e-9)
+
+
+def test_total_cost_sums_invocations():
+    model = AlibabaCostModel(round_up_to=0.0)
+    times = [0.1, 0.2, 0.3]
+    assert model.total_cost(times) == pytest.approx(
+        sum(model.invocation_cost(t) for t in times)
+    )
+
+
+def test_zero_execution_still_pays_request_fee():
+    model = AlibabaCostModel(round_up_to=0.0)
+    assert model.invocation_cost(0.0) == pytest.approx(PRICE_PER_REQUEST)
+
+
+def test_negative_execution_rejected():
+    with pytest.raises(ValueError):
+        AlibabaCostModel().invocation_cost(-0.1)
+    with pytest.raises(ValueError):
+        AlibabaCostModel().billed_duration(-1.0)
+
+
+def test_invalid_resources_rejected():
+    with pytest.raises(ValueError):
+        FunctionResources(vcpu=0)
+    with pytest.raises(ValueError):
+        FunctionResources(concurrency=0)
+
+
+def test_bigger_gpu_allocation_costs_more():
+    small = AlibabaCostModel(resources=FunctionResources(gpu_memory_gb=6.0), round_up_to=0.0)
+    large = AlibabaCostModel(resources=FunctionResources(gpu_memory_gb=12.0), round_up_to=0.0)
+    assert large.invocation_cost(1.0) > small.invocation_cost(1.0)
+
+
+def test_batching_amortises_request_fee():
+    """One invocation of 2 s costs less than two invocations of 1 s: the
+    per-request fee (and in practice the invocation overhead) is paid once.
+    This is the economic argument for batching in Section III-B."""
+    model = AlibabaCostModel(round_up_to=0.0)
+    assert model.invocation_cost(2.0) < 2 * model.invocation_cost(1.0)

@@ -1,0 +1,87 @@
+"""Tests for the event queue primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.events import Event, EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(2.0, lambda sim: fired.append("b"), name="b")
+    queue.push(1.0, lambda sim: fired.append("a"), name="a")
+    queue.push(3.0, lambda sim: fired.append("c"), name="c")
+    assert queue.pop().name == "a"
+    assert queue.pop().name == "b"
+    assert queue.pop().name == "c"
+
+
+def test_pop_empty_queue_raises():
+    queue = EventQueue()
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_same_time_events_fire_in_insertion_order():
+    queue = EventQueue()
+    queue.push(1.0, lambda sim: None, name="first")
+    queue.push(1.0, lambda sim: None, name="second")
+    assert queue.pop().name == "first"
+    assert queue.pop().name == "second"
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    queue = EventQueue()
+    queue.push(1.0, lambda sim: None, priority=5, name="low-priority")
+    queue.push(1.0, lambda sim: None, priority=0, name="high-priority")
+    assert queue.pop().name == "high-priority"
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda sim: None, name="cancelled")
+    queue.push(2.0, lambda sim: None, name="kept")
+    event.cancel()
+    assert len(queue) == 1
+    assert queue.pop().name == "kept"
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda sim: None)
+    queue.push(5.0, lambda sim: None)
+    first.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(-0.1, lambda sim: None)
+
+
+def test_len_and_bool_reflect_live_events():
+    queue = EventQueue()
+    assert not queue
+    event = queue.push(1.0, lambda sim: None)
+    assert queue
+    assert len(queue) == 1
+    event.cancel()
+    assert not queue
+    assert len(queue) == 0
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda sim: None)
+    queue.push(2.0, lambda sim: None)
+    queue.clear()
+    assert queue.peek_time() is None
+
+
+def test_event_ordering_dataclass():
+    early = Event(time=1.0, priority=0, sequence=0)
+    late = Event(time=2.0, priority=0, sequence=1)
+    assert early < late
