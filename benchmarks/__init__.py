@@ -1,0 +1,2 @@
+"""Benchmark harnesses: figure/table reproductions (pytest) and the
+persistent performance-regression suite (:mod:`benchmarks.perf`)."""

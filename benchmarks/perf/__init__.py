@@ -1,0 +1,34 @@
+"""Persistent performance-benchmark harness.
+
+Unlike the pytest figure reproductions next door (which check *metrics*),
+this package times the hot paths of the reproduction — the stitching
+solver, the scheduler arrival path, the GMM frame loop, and one end-to-end
+run — and writes the timings to a machine-readable ``BENCH_perf.json`` so
+every future PR has a performance trajectory to compare against.
+
+Run it with::
+
+    PYTHONPATH=src python -m benchmarks.perf                # time + report
+    PYTHONPATH=src python -m benchmarks.perf --check        # fail on >2x regression
+    PYTHONPATH=src python -m benchmarks.perf --update-baseline
+
+See ``benchmarks/perf/README.md`` for the JSON schema.
+"""
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    BenchResult,
+    check_against_baseline,
+    load_baseline,
+    run_all,
+    write_results,
+)
+
+__all__ = [
+    "BASELINE_PATH",
+    "BenchResult",
+    "check_against_baseline",
+    "load_baseline",
+    "run_all",
+    "write_results",
+]

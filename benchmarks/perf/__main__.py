@@ -1,0 +1,125 @@
+"""CLI entry point: ``PYTHONPATH=src python -m benchmarks.perf``.
+
+Modes
+-----
+default:
+    Run every section, print a table plus the derived speedups, and write
+    the report next to this file as ``BENCH_perf.last.json`` (the committed
+    baseline is never overwritten implicitly).
+``--check``:
+    Additionally compare against the committed ``BENCH_perf.json`` and exit
+    non-zero when any timed section regressed more than ``--max-regression``
+    (default 2x) or the scheduler arrival speedup fell below
+    ``--min-speedup`` (default 5x).
+``--update-baseline``:
+    Write the fresh report to ``BENCH_perf.json`` (commit it with the PR
+    that changes performance).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    SECTIONS,
+    check_against_baseline,
+    load_baseline,
+    run_all,
+    write_results,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Time the reproduction's hot paths and track regressions.",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when a section regresses past --max-regression vs the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"write the report to the committed baseline ({BASELINE_PATH.name})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per section, best kept (default 3)"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="--check fails when a section is this many times slower (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="--check fails when the scheduler arrival speedup drops below this (default 5.0)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SECTION",
+        help=f"run a subset of sections (choices: {', '.join(SECTIONS)})",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the fresh report (default: BENCH_perf.last.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update_baseline and args.only:
+        # A partial report would overwrite the baseline and silently drop
+        # every section not re-run from the regression gate.
+        parser.error("--update-baseline requires running all sections (drop --only)")
+
+    report = run_all(repeats=args.repeats, only=args.only)
+    sections = report["sections"]
+    width = max(len(name) for name in sections)
+    print(f"{'section'.ljust(width)}  seconds")
+    for name, entry in sections.items():
+        print(f"{name.ljust(width)}  {float(entry['seconds']):.6f}")
+    for key, value in report.get("derived", {}).items():
+        print(f"{key}: {value}x")
+
+    output = args.output or (BASELINE_PATH.parent / "BENCH_perf.last.json")
+    write_results(report, output)
+    print(f"report written to {output}")
+
+    # Snapshot the baseline *before* any update so `--update-baseline
+    # --check` still compares against the previous run instead of the
+    # report it just wrote (which would make the check a tautology).
+    baseline = load_baseline()
+
+    if args.update_baseline:
+        write_results(report, BASELINE_PATH)
+        print(f"baseline updated at {BASELINE_PATH}")
+
+    if args.check:
+        if baseline is None:
+            print(f"ERROR: no committed baseline at {BASELINE_PATH}", file=sys.stderr)
+            return 2
+        failures = check_against_baseline(
+            report,
+            baseline,
+            max_regression=args.max_regression,
+            min_speedup=args.min_speedup,
+        )
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("perf check passed: no section regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

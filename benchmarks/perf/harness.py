@@ -1,0 +1,315 @@
+"""Timed sections of the performance harness.
+
+Every section is a pure function returning wall-clock seconds for one run
+of a fixed, seeded workload; :func:`run_all` takes the best of ``repeats``
+runs (minimum, the standard way to suppress scheduler noise) and derives
+the headline speedup figures.  The workloads are deliberately identical
+across PRs — change them only together with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+#: The committed baseline every ``--check`` run compares against.
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_perf.json"
+
+SCHEMA_VERSION = 1
+
+#: Queue depth of the scheduler arrival microbenchmark (the acceptance
+#: criterion's ">= 5x at queue depth 256").
+ARRIVAL_QUEUE_DEPTH = 256
+
+
+@dataclass
+class BenchResult:
+    """Timing of one section."""
+
+    name: str
+    seconds: float
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- setup
+def _make_patches(count: int, seed: int, lo: float = 64.0, hi: float = 640.0):
+    from repro.core.patches import Patch
+    from repro.video.geometry import Box
+
+    rng = np.random.default_rng(seed)
+    widths = rng.uniform(lo, hi, size=count)
+    heights = rng.uniform(lo, hi, size=count)
+    return [
+        Patch(
+            camera_id="bench",
+            frame_index=index,
+            region=Box(0.0, 0.0, float(w), float(h)),
+            generation_time=0.0,
+            slo=1e9,
+        )
+        for index, (w, h) in enumerate(zip(widths, heights))
+    ]
+
+
+def _build_scheduler(incremental: bool):
+    from repro.core.latency import LatencyEstimator
+    from repro.core.scheduler import TangramScheduler
+    from repro.core.stitching import PatchStitchingSolver
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.simulation.engine import Simulator
+    from repro.simulation.random_streams import RandomStreams
+    from repro.vision.detector import DetectorLatencyModel
+
+    simulator = Simulator()
+    platform = ServerlessPlatform(simulator, cold_start_time=0.0)
+    latency_model = DetectorLatencyModel.serverless()
+    estimator = LatencyEstimator(
+        latency_model=latency_model, iterations=50, streams=RandomStreams(5)
+    )
+    scheduler = TangramScheduler(
+        simulator,
+        platform,
+        solver=PatchStitchingSolver(),
+        estimator=estimator,
+        latency_model=latency_model,
+        streams=RandomStreams(6),
+        # A deep queue needs room: patches use a huge SLO and the memory
+        # constraint is lifted so no invocation happens mid-benchmark.
+        gpu_memory_gb=1e6,
+        model_memory_gb=2.5,
+        canvas_memory_gb=0.35,
+        incremental=incremental,
+    )
+    return simulator, scheduler
+
+
+# ------------------------------------------------------------------ sections
+def bench_stitching_batch_pack() -> BenchResult:
+    """One batch pack of 256 patches (the offline / re-pack cost unit)."""
+    from repro.core.stitching import PatchStitchingSolver
+
+    patches = _make_patches(256, seed=11)
+    solver = PatchStitchingSolver()
+    start = time.perf_counter()
+    canvases = solver.pack(patches)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        "stitching_batch_pack_256",
+        elapsed,
+        {"patches": len(patches), "canvases": len(canvases)},
+    )
+
+
+def bench_stitching_incremental() -> BenchResult:
+    """256 arrivals through the incremental stitcher (drift re-packs on)."""
+    from repro.core.stitching import IncrementalStitcher, PatchStitchingSolver
+
+    patches = _make_patches(256, seed=11)
+    stitcher = IncrementalStitcher(PatchStitchingSolver())
+    start = time.perf_counter()
+    for patch in patches:
+        stitcher.add(patch)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        "stitching_incremental_256",
+        elapsed,
+        {
+            "patches": len(patches),
+            "canvases": stitcher.num_canvases,
+            "full_repacks": stitcher.stats["full_repacks"],
+        },
+    )
+
+
+def bench_validate_packing() -> BenchResult:
+    """Invariant validation (x-sorted sweep) over a 1024-patch packing."""
+    from repro.core.stitching import PatchStitchingSolver
+
+    patches = _make_patches(1024, seed=13, lo=48.0, hi=400.0)
+    solver = PatchStitchingSolver()
+    canvases = solver.pack(patches)
+    start = time.perf_counter()
+    PatchStitchingSolver.validate_packing(canvases)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        "validate_packing_1024",
+        elapsed,
+        {"patches": len(patches), "canvases": len(canvases)},
+    )
+
+
+def _bench_scheduler_arrival(incremental: bool, name: str) -> BenchResult:
+    patches = _make_patches(ARRIVAL_QUEUE_DEPTH, seed=17)
+    simulator, scheduler = _build_scheduler(incremental)
+    start = time.perf_counter()
+    for patch in patches:
+        scheduler.receive_patch(patch)
+    elapsed = time.perf_counter() - start
+    meta: Dict[str, object] = {
+        "queue_depth": ARRIVAL_QUEUE_DEPTH,
+        "pending_canvases": scheduler.pending_canvases,
+    }
+    if incremental:
+        meta["packing_stats"] = scheduler.packing_stats
+    return BenchResult(name, elapsed, meta)
+
+
+def bench_scheduler_arrival_full() -> BenchResult:
+    """The literal Algorithm 2 arrival path: full re-pack per arrival."""
+    return _bench_scheduler_arrival(False, "scheduler_arrival_full_256")
+
+
+def bench_scheduler_arrival_fast() -> BenchResult:
+    """The incremental fast path at the same queue depth."""
+    return _bench_scheduler_arrival(True, "scheduler_arrival_fast_256")
+
+
+def bench_gmm_frame_loop() -> BenchResult:
+    """Background subtraction + RoI extraction over a synthetic clip."""
+    from repro.vision.gmm import GaussianMixtureBackgroundSubtractor, mask_to_boxes
+
+    rng = np.random.default_rng(23)
+    height, width, frames = 180, 240, 16
+    subtractor = GaussianMixtureBackgroundSubtractor()
+    background = rng.uniform(90.0, 110.0, size=(height, width))
+    clips = []
+    for index in range(frames):
+        frame = background + rng.normal(0.0, 2.0, size=(height, width))
+        # A moving bright square keeps the no-match branch exercised.
+        top = 10 + 6 * index
+        frame[top : top + 32, 40:88] += 120.0
+        clips.append(frame.astype(np.float32))
+    start = time.perf_counter()
+    boxes = 0
+    for frame in clips:
+        mask = subtractor.apply(frame)
+        boxes += len(mask_to_boxes(mask))
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        "gmm_frame_loop",
+        elapsed,
+        {"frames": frames, "shape": [height, width], "boxes": boxes},
+    )
+
+
+def bench_end_to_end() -> BenchResult:
+    """A small multi-camera end-to-end run with the default (fast) path."""
+    from repro.pipeline.endtoend import EndToEndConfig, run_end_to_end
+    from repro.simulation.random_streams import RandomStreams
+    from repro.workloads import build_camera_traces
+
+    traces = build_camera_traces(
+        num_cameras=2, frames_per_camera=6, seed=2024, max_concurrent_objects=80
+    )
+    config = EndToEndConfig(strategy="tangram", bandwidth_mbps=40.0, slo=1.0)
+    start = time.perf_counter()
+    result = run_end_to_end(config, traces, streams=RandomStreams(77))
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        "end_to_end_small",
+        elapsed,
+        {
+            "num_patches": result.num_patches,
+            "num_batches": len(result.completed_batches),
+            "mean_canvas_efficiency": round(result.mean_canvas_efficiency, 4),
+        },
+    )
+
+
+SECTIONS: Dict[str, Callable[[], BenchResult]] = {
+    "stitching_batch_pack_256": bench_stitching_batch_pack,
+    "stitching_incremental_256": bench_stitching_incremental,
+    "validate_packing_1024": bench_validate_packing,
+    "scheduler_arrival_full_256": bench_scheduler_arrival_full,
+    "scheduler_arrival_fast_256": bench_scheduler_arrival_fast,
+    "gmm_frame_loop": bench_gmm_frame_loop,
+    "end_to_end_small": bench_end_to_end,
+}
+
+
+# --------------------------------------------------------------------- runner
+def run_all(repeats: int = 3, only: Optional[List[str]] = None) -> Dict[str, object]:
+    """Run every section ``repeats`` times, keep the best run of each, and
+    return the report dict (the ``BENCH_perf.json`` payload)."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    names = list(SECTIONS) if not only else list(only)
+    unknown = [name for name in names if name not in SECTIONS]
+    if unknown:
+        raise KeyError(f"unknown benchmark sections: {unknown}")
+    sections: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        best: Optional[BenchResult] = None
+        for _ in range(repeats):
+            result = SECTIONS[name]()
+            if best is None or result.seconds < best.seconds:
+                best = result
+        assert best is not None
+        sections[name] = {"seconds": round(best.seconds, 6), "meta": best.meta}
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_by": "python -m benchmarks.perf",
+        "repeats": repeats,
+        "sections": sections,
+    }
+    full = sections.get("scheduler_arrival_full_256")
+    fast = sections.get("scheduler_arrival_fast_256")
+    if full and fast and float(fast["seconds"]) > 0:
+        report["derived"] = {
+            "scheduler_arrival_speedup": round(
+                float(full["seconds"]) / float(fast["seconds"]), 2
+            )
+        }
+    return report
+
+
+def write_results(report: Dict[str, object], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> Optional[Dict[str, object]]:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def check_against_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    max_regression: float = 2.0,
+    min_speedup: float = 5.0,
+) -> List[str]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns a list of human-readable failures; empty means the check
+    passed.  A section regresses when it is ``max_regression`` times
+    slower than the baseline; sections present in only one report are
+    ignored (workloads evolve, the baseline is updated alongside).
+    """
+    failures: List[str] = []
+    base_sections = baseline.get("sections", {})
+    new_sections = report.get("sections", {})
+    for name, base_entry in base_sections.items():
+        new_entry = new_sections.get(name)
+        if new_entry is None:
+            continue
+        base_seconds = float(base_entry["seconds"])
+        new_seconds = float(new_entry["seconds"])
+        if base_seconds > 0 and new_seconds > max_regression * base_seconds:
+            failures.append(
+                f"{name}: {new_seconds:.4f}s is more than {max_regression:.1f}x "
+                f"the baseline {base_seconds:.4f}s"
+            )
+    derived = report.get("derived", {})
+    speedup = derived.get("scheduler_arrival_speedup")
+    if speedup is not None and float(speedup) < min_speedup:
+        failures.append(
+            f"scheduler_arrival_speedup {float(speedup):.2f}x is below the "
+            f"required {min_speedup:.1f}x"
+        )
+    return failures

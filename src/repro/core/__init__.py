@@ -17,7 +17,13 @@
 
 from repro.core.patches import Patch
 from repro.core.partitioning import FramePartitioner, partition_rois
-from repro.core.stitching import Canvas, Placement, PatchStitchingSolver
+from repro.core.stitching import (
+    Canvas,
+    IncrementalStitcher,
+    Placement,
+    PlacementPlan,
+    PatchStitchingSolver,
+)
 from repro.core.latency import LatencyEstimator, LatencyProfile
 from repro.core.scheduler import BatchRecord, TangramScheduler
 from repro.core.tangram import Tangram
@@ -27,7 +33,9 @@ __all__ = [
     "FramePartitioner",
     "partition_rois",
     "Canvas",
+    "IncrementalStitcher",
     "Placement",
+    "PlacementPlan",
     "PatchStitchingSolver",
     "LatencyEstimator",
     "LatencyProfile",

@@ -24,12 +24,13 @@ the baseline scheduling policies (Clipper, MArk, ELF) in
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.latency import LatencyEstimator
 from repro.core.patches import Patch
-from repro.core.stitching import Canvas, PatchStitchingSolver
+from repro.core.stitching import Canvas, IncrementalStitcher, PatchStitchingSolver
 from repro.serverless.platform import ServerlessPlatform
 from repro.serverless.function import InvocationRecord
 from repro.simulation.engine import Simulator
@@ -190,6 +191,22 @@ class TangramScheduler(BaseScheduler):
         Memory occupied by the DNN weights (``tau`` in the paper).
     canvas_memory_gb:
         GPU memory one canvas occupies during inference (``w``).
+    incremental:
+        When true (the default), arrivals are handled by the incremental
+        fast path: the queue's packing is kept alive across arrivals by an
+        :class:`IncrementalStitcher` instead of being re-packed from
+        scratch, and the earliest deadline is tracked with a running-min
+        heap instead of an O(n) scan.  When false the scheduler runs the
+        literal Algorithm 2 implementation (full re-pack per arrival).
+    drift_margin:
+        Fast path only: how far the live packing's efficiency may drift
+        below what a full re-pack achieves before one is triggered (see
+        :class:`IncrementalStitcher`).
+    full_repack_equivalent:
+        Fast path only: keep the incremental plumbing but re-pack the whole
+        queue on every arrival, so every scheduling decision — and therefore
+        every :class:`BatchRecord` metric — is byte-identical to
+        ``incremental=False``.  Used by the equivalence regression tests.
     """
 
     def __init__(
@@ -203,6 +220,9 @@ class TangramScheduler(BaseScheduler):
         model_memory_gb: float = 2.5,
         canvas_memory_gb: float = 0.35,
         streams: Optional[RandomStreams] = None,
+        incremental: bool = True,
+        drift_margin: float = 0.05,
+        full_repack_equivalent: bool = False,
     ) -> None:
         latency_model = latency_model or DetectorLatencyModel.serverless()
         super().__init__(
@@ -220,7 +240,19 @@ class TangramScheduler(BaseScheduler):
         self.gpu_memory_gb = gpu_memory_gb
         self.model_memory_gb = model_memory_gb
         self.canvas_memory_gb = canvas_memory_gb
+        self.incremental = incremental
+        self._packer: Optional[IncrementalStitcher] = (
+            IncrementalStitcher(
+                self.solver,
+                drift_margin=drift_margin,
+                always_repack=full_repack_equivalent,
+                equivalent_canvas_pixels=self.estimator.canvas_pixels,
+            )
+            if incremental
+            else None
+        )
         self._queue: List[Patch] = []
+        self._deadline_heap: List[float] = []
         self._canvases: List[Canvas] = []
         self._timer: Optional[Event] = None
 
@@ -237,11 +269,15 @@ class TangramScheduler(BaseScheduler):
     # ---------------------------------------------------------------- arrival
     def receive_patch(self, patch: Patch) -> None:
         """Algorithm 2, lines 4-18: handle one arriving patch."""
+        if self._packer is not None:
+            self._receive_patch_fast(patch)
+            return
         now = self.simulator.now
         old_canvases = self._canvases
         self._queue.append(patch)
+        heapq.heappush(self._deadline_heap, patch.deadline)
         candidate = self.solver.pack(self._queue)
-        deadline = min(p.deadline for p in self._queue)
+        deadline = self._deadline_heap[0]
         slack = self.estimator.estimate(candidate)
         t_remain = deadline - slack
 
@@ -251,12 +287,46 @@ class TangramScheduler(BaseScheduler):
             # start a fresh queue with just the new patch.
             self.invoke_canvases(old_canvases)
             self._queue = [patch]
+            self._deadline_heap = [patch.deadline]
             candidate = self.solver.pack(self._queue)
             deadline = patch.deadline
             slack = self.estimator.estimate(candidate)
             t_remain = deadline - slack
 
         self._canvases = candidate
+        self._schedule_invocation(max(now, t_remain))
+
+    def _receive_patch_fast(self, patch: Patch) -> None:
+        """The incremental fast path: plan the placement without mutating
+        the live packing, decide, then commit (or ship-and-reset).
+
+        The probe/commit split matters: when the new patch would push
+        ``t_remain`` into the past, Algorithm 2 ships the *old* canvases
+        without the patch — so the patch must not have been placed yet.
+        """
+        packer = self._packer
+        assert packer is not None
+        now = self.simulator.now
+        plan = packer.probe(patch)
+        deadline = patch.deadline
+        if self._deadline_heap and self._deadline_heap[0] < deadline:
+            deadline = self._deadline_heap[0]
+        slack = self.estimator.slack_time(max(1, plan.equivalent_after))
+        t_remain = deadline - slack
+
+        if t_remain < now or plan.canvases_after > self.max_canvases:
+            self.invoke_canvases(self._canvases)
+            self._queue = [patch]
+            self._deadline_heap = [patch.deadline]
+            canvases = packer.reset([patch])
+            slack = self.estimator.slack_time(max(1, packer.equivalent))
+            t_remain = patch.deadline - slack
+        else:
+            self._queue.append(patch)
+            heapq.heappush(self._deadline_heap, patch.deadline)
+            canvases = packer.commit(plan)
+
+        self._canvases = canvases
         self._schedule_invocation(max(now, t_remain))
 
     def _schedule_invocation(self, when: float) -> None:
@@ -272,8 +342,7 @@ class TangramScheduler(BaseScheduler):
         if not self._canvases:
             return
         self.invoke_canvases(self._canvases)
-        self._queue = []
-        self._canvases = []
+        self._clear_queue()
 
     # ------------------------------------------------------------------ flush
     def flush(self) -> None:
@@ -283,8 +352,14 @@ class TangramScheduler(BaseScheduler):
             self._timer = None
         if self._canvases:
             self.invoke_canvases(self._canvases)
-            self._queue = []
-            self._canvases = []
+            self._clear_queue()
+
+    def _clear_queue(self) -> None:
+        self._queue = []
+        self._deadline_heap = []
+        self._canvases = []
+        if self._packer is not None:
+            self._packer.reset()
 
     # --------------------------------------------------------------- insight
     @property
@@ -294,3 +369,11 @@ class TangramScheduler(BaseScheduler):
     @property
     def pending_canvases(self) -> int:
         return len(self._canvases)
+
+    @property
+    def packing_stats(self) -> dict:
+        """Fast-path counters (probes, incremental placements, re-packs);
+        empty when running with ``incremental=False``."""
+        if self._packer is None:
+            return {}
+        return dict(self._packer.stats)

@@ -18,6 +18,7 @@ point of the design (resizing costs accuracy, padding costs compute).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -56,21 +57,53 @@ class Canvas:
     oversized: bool = False
     placements: List[Placement] = field(default_factory=list)
     free_rectangles: List[Box] = field(default_factory=list)
+    #: Cached sum of placed patch areas, maintained by :meth:`place` so the
+    #: scheduler's hot path never recomputes ``sum(...)`` over placements.
+    #: ``_used_count`` detects out-of-band mutation of ``placements`` (the
+    #: corruption tests do this) and triggers a recompute.
+    _used_area: float = field(default=0.0, repr=False, compare=False)
+    _used_count: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
             raise ValueError("canvas dimensions must be positive")
         if not self.free_rectangles and not self.placements:
             self.free_rectangles = [Box(0.0, 0.0, self.width, self.height)]
+        if self.placements:
+            self._refresh_used_area()
 
     # ---------------------------------------------------------------- metrics
     @property
     def area(self) -> float:
         return self.width * self.height
 
+    def _refresh_used_area(self) -> float:
+        self._used_area = sum(p.patch.area for p in self.placements)
+        self._used_count = len(self.placements)
+        return self._used_area
+
+    def recompute_used_area(self) -> float:
+        """O(n) recomputation of :attr:`used_area`; the cached value must
+        always agree with it (checked by :meth:`PatchStitchingSolver.
+        validate_packing` as a debug assertion)."""
+        return sum(placement.patch.area for placement in self.placements)
+
     @property
     def used_area(self) -> float:
-        return sum(placement.patch.area for placement in self.placements)
+        """Cached total patch area; place patches via :meth:`place`.
+
+        Length changes to ``placements`` are detected and trigger a
+        recompute, but a same-length replacement bypasses the cache's
+        staleness check — mutate through :meth:`place` (or call
+        :meth:`recompute_used_area`) to keep the cache honest.
+        :meth:`PatchStitchingSolver.validate_packing` cross-checks the
+        cache against a recompute.
+        """
+        if self._used_count != len(self.placements):
+            # ``placements`` was mutated without going through ``place()``;
+            # fall back to a recompute and re-seed the cache.
+            self._refresh_used_area()
+        return self._used_area
 
     @property
     def efficiency(self) -> float:
@@ -94,17 +127,28 @@ class Canvas:
         return min(placement.patch.deadline for placement in self.placements)
 
     # --------------------------------------------------------------- stitching
-    def find_free_rectangle(self, patch: Patch) -> Optional[int]:
-        """Index of the best-short-side-fit free rectangle, or ``None``."""
-        best_index: Optional[int] = None
+    def best_fit(self, patch: Patch) -> Optional[Tuple[int, float]]:
+        """Best-short-side-fit ``(rect_index, score)`` for ``patch``, or
+        ``None`` when no free rectangle fits.  Lower scores are better;
+        the incremental packer compares scores across canvases."""
+        best_index = -1
         best_score = float("inf")
+        patch_w = patch.width
+        patch_h = patch.height
         for index, rect in enumerate(self.free_rectangles):
-            if rect.width >= patch.width and rect.height >= patch.height:
-                score = min(rect.width - patch.width, rect.height - patch.height)
+            if rect.width >= patch_w and rect.height >= patch_h:
+                score = min(rect.width - patch_w, rect.height - patch_h)
                 if score < best_score:
                     best_score = score
                     best_index = index
-        return best_index
+        if best_index < 0:
+            return None
+        return best_index, best_score
+
+    def find_free_rectangle(self, patch: Patch) -> Optional[int]:
+        """Index of the best-short-side-fit free rectangle, or ``None``."""
+        fit = self.best_fit(patch)
+        return None if fit is None else fit[0]
 
     def place(self, patch: Patch, rect_index: int) -> Placement:
         """Place ``patch`` in free rectangle ``rect_index`` and split the
@@ -117,6 +161,8 @@ class Canvas:
         # toward the canvas origin.
         placement = Placement(patch=patch, x=rect.x, y=rect.y)
         self.placements.append(placement)
+        self._used_area += patch.area
+        self._used_count += 1
 
         leftover_w = rect.width - patch.width
         leftover_h = rect.height - patch.height
@@ -133,8 +179,24 @@ class Canvas:
             bottom = Box(rect.x, rect.y + patch.height, patch.width, leftover_h)
         for candidate in (right, bottom):
             if candidate.width > 0.5 and candidate.height > 0.5:
-                self.free_rectangles.append(candidate)
+                self._add_free_rectangle(candidate)
         return placement
+
+    def _add_free_rectangle(self, candidate: Box) -> None:
+        """Insert a free rectangle, keeping the pool minimal.
+
+        A pure guillotine split never produces nested free rectangles (the
+        pool partitions the unused area), but the incremental packer keeps
+        pools alive across many arrivals; pruning contained rectangles here
+        keeps the pool minimal and the per-arrival scan short regardless of
+        how the pool was produced.
+        """
+        pool = self.free_rectangles
+        for rect in pool:
+            if rect.contains_box(candidate):
+                return
+        pool[:] = [rect for rect in pool if not candidate.contains_box(rect)]
+        pool.append(candidate)
 
     def try_place(self, patch: Patch) -> Optional[Placement]:
         """Place the patch if any free rectangle fits it."""
@@ -248,7 +310,14 @@ class PatchStitchingSolver:
     def validate_packing(canvases: Iterable[Canvas]) -> None:
         """Assert the packing invariants: placements stay inside the canvas
         and never overlap.  Raises ``AssertionError`` on violation; used by
-        the property-based tests."""
+        the property-based tests.
+
+        The pairwise overlap check runs as an x-sorted sweep: boxes are
+        sorted by their left edge and each box is only compared against the
+        following boxes whose left edge starts before its right edge, so
+        the cost is O(n log n + k) for k x-overlapping pairs instead of the
+        former O(n^2) over all pairs.
+        """
         for canvas in canvases:
             bounds = Box(0.0, 0.0, canvas.width, canvas.height)
             boxes: List[Tuple[int, Box]] = [
@@ -260,11 +329,326 @@ class PatchStitchingSolver:
                     raise AssertionError(
                         f"patch {patch_id} is placed outside canvas {canvas.canvas_id}"
                     )
+            recomputed = canvas.recompute_used_area()
+            if abs(canvas.used_area - recomputed) > 1e-6 * max(1.0, recomputed):
+                raise AssertionError(
+                    f"canvas {canvas.canvas_id}: cached used_area "
+                    f"{canvas.used_area:.3f} drifted from recomputed {recomputed:.3f}"
+                )
+            boxes.sort(key=lambda entry: entry[1].x)
             for i in range(len(boxes)):
+                id_i, box_i = boxes[i]
+                right_edge = box_i.x2
                 for j in range(i + 1, len(boxes)):
-                    overlap = boxes[i][1].intersection_area(boxes[j][1])
+                    id_j, box_j = boxes[j]
+                    if box_j.x >= right_edge:
+                        break  # sorted by x: no later box can overlap box_i
+                    overlap = box_i.intersection_area(box_j)
                     if overlap > 1e-6:
                         raise AssertionError(
-                            f"patches {boxes[i][0]} and {boxes[j][0]} overlap by "
+                            f"patches {id_i} and {id_j} overlap by "
                             f"{overlap:.2f} px^2 on canvas {canvas.canvas_id}"
                         )
+
+
+def equivalent_canvases(canvases: Iterable[Canvas], canvas_pixels: float) -> int:
+    """Number of standard-size canvases a packing is charged as.
+
+    Oversized canvases count as the equivalent number of standard canvases,
+    rounded up — the same conservative accounting
+    :meth:`repro.core.latency.LatencyEstimator.estimate` applies.
+    """
+    if canvas_pixels <= 0:
+        raise ValueError("canvas_pixels must be positive")
+    equivalent = 0
+    for canvas in canvases:
+        if canvas.oversized:
+            equivalent += int(math.ceil(canvas.area / canvas_pixels))
+        else:
+            equivalent += 1
+    return equivalent
+
+
+@dataclass
+class PlacementPlan:
+    """The incremental packer's answer to "where would this patch go?".
+
+    A plan is produced by :meth:`IncrementalStitcher.probe` without mutating
+    any state, so the scheduler can decide whether to accept the patch into
+    the running batch (then :meth:`IncrementalStitcher.commit` the plan) or
+    to ship the current canvases untouched and start a fresh queue.
+    """
+
+    patch: Patch
+    #: ``"fit"`` (placed into an existing canvas), ``"new"`` (opens a blank
+    #: canvas), ``"oversized"`` (opens a dedicated oversized canvas), or
+    #: ``"repack"`` (full-repack-equivalent mode: the whole queue was
+    #: re-packed from scratch).
+    kind: str
+    #: Canvas count if the plan is committed (GPU-memory constraint input).
+    canvases_after: int
+    #: Standard-canvas equivalent count if committed (latency-slack input).
+    equivalent_after: int
+    canvas_index: int = -1
+    rect_index: int = -1
+    #: Only for ``kind == "repack"``: the already-computed packing.
+    repacked: Optional[List[Canvas]] = None
+
+
+class IncrementalStitcher:
+    """Maintains a live packing across patch arrivals (the fast path).
+
+    The batch :class:`PatchStitchingSolver` re-packs the whole queue on
+    every arrival, which makes the online scheduler's hot path
+    O(n * canvases * free-rects) per patch.  This class instead keeps the
+    canvases and their guillotine free-rectangle pools alive and places each
+    new patch with a *global* best-short-side-fit over all live pools —
+    O(total free rects) per arrival.
+
+    Packing patches in arrival order is worse than the batch solver's
+    decreasing-area order, but the live packing's efficiency can only drop
+    at the moment a *new canvas opens* (placing into an existing canvas
+    always raises fill).  So the stitcher intervenes exactly there: when a
+    patch is about to open a canvas even though the existing canvases still
+    hold more than ``(1 + drift_margin) * patch.area`` of free space — the
+    signature of ordering/fragmentation loss rather than genuine overflow —
+    it falls back to a full decreasing-area re-pack of the queue.  A
+    growth gate (the queue must have grown ~25% since the last re-pack)
+    keeps the re-packs geometrically spaced, so their total cost stays
+    amortised-constant per arrival while mean canvas efficiency tracks the
+    batch packer within a few percent.
+
+    Parameters
+    ----------
+    solver:
+        The batch solver used for full re-packs (and whose canvas size
+        defines the packing geometry).
+    drift_margin:
+        Free-space headroom (fraction of the arriving patch's area) the
+        live canvases may hold before opening another canvas triggers a
+        re-pack.  Smaller values re-pack more often and track the batch
+        packer more tightly.
+    always_repack:
+        Full-repack-equivalent mode: every probe packs the whole queue from
+        scratch with the batch solver, making the scheduler's decisions (and
+        therefore all experiment metrics) byte-identical to the literal
+        Algorithm 2 implementation.  Used by the equivalence tests.
+    equivalent_canvas_pixels:
+        Pixel area of one standard canvas used for the equivalent-canvas
+        accounting; defaults to the solver's canvas area.  Pass the latency
+        estimator's ``canvas_pixels`` when the two are configured apart.
+    """
+
+    def __init__(
+        self,
+        solver: Optional[PatchStitchingSolver] = None,
+        drift_margin: float = 0.05,
+        always_repack: bool = False,
+        equivalent_canvas_pixels: Optional[float] = None,
+    ) -> None:
+        if drift_margin < 0:
+            raise ValueError("drift_margin must be non-negative")
+        self.solver = solver or PatchStitchingSolver()
+        self.drift_margin = drift_margin
+        self.always_repack = always_repack
+        self.equivalent_canvas_pixels = (
+            self.solver.canvas_area
+            if equivalent_canvas_pixels is None
+            else equivalent_canvas_pixels
+        )
+        if self.equivalent_canvas_pixels <= 0:
+            raise ValueError("equivalent_canvas_pixels must be positive")
+        self.stats = {
+            "probes": 0,
+            "incremental_placements": 0,
+            "new_canvases": 0,
+            "oversized_canvases": 0,
+            "full_repacks": 0,
+            "resets": 0,
+        }
+        self._patches: List[Patch] = []
+        self._canvases: List[Canvas] = []
+        self._next_id = 0
+        self._equivalent = 0
+        #: Total patch area on non-oversized canvases (drift bookkeeping).
+        self._active_used = 0.0
+        self._active_count = 0
+        #: Queue size at the last full re-pack; the growth gate spaces
+        #: re-packs geometrically so their cost amortises.
+        self._last_repack_size = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def canvases(self) -> List[Canvas]:
+        return self._canvases
+
+    @property
+    def patches(self) -> List[Patch]:
+        return list(self._patches)
+
+    @property
+    def num_canvases(self) -> int:
+        return len(self._canvases)
+
+    @property
+    def equivalent(self) -> int:
+        """Standard-canvas equivalent count of the live packing."""
+        return self._equivalent
+
+    @property
+    def overall_efficiency(self) -> float:
+        """Patch area over canvas area across non-oversized canvases."""
+        if self._active_count == 0:
+            return 0.0
+        return self._active_used / (self._active_count * self.solver.canvas_area)
+
+    # ------------------------------------------------------------ probe/commit
+    def probe(self, patch: Patch) -> PlacementPlan:
+        """Plan the placement of ``patch`` without mutating any state."""
+        self.stats["probes"] += 1
+        if self.always_repack:
+            repacked = self.solver.pack(self._patches + [patch])
+            return PlacementPlan(
+                patch=patch,
+                kind="repack",
+                canvases_after=len(repacked),
+                equivalent_after=equivalent_canvases(
+                    repacked, self.equivalent_canvas_pixels
+                ),
+                repacked=repacked,
+            )
+        solver = self.solver
+        if not patch.fits_on(solver.canvas_width, solver.canvas_height):
+            if not solver.allow_oversized:
+                raise ValueError(
+                    f"patch {patch.patch_id} ({patch.width:.0f}x{patch.height:.0f}) "
+                    f"exceeds the canvas size "
+                    f"{solver.canvas_width:.0f}x{solver.canvas_height:.0f}"
+                )
+            extra = int(math.ceil(patch.area / self.equivalent_canvas_pixels))
+            return PlacementPlan(
+                patch=patch,
+                kind="oversized",
+                canvases_after=len(self._canvases) + 1,
+                equivalent_after=self._equivalent + max(1, extra),
+            )
+        # Global best-short-side-fit across every live free-rectangle pool.
+        best_canvas = -1
+        best_rect = -1
+        best_score = float("inf")
+        for canvas_index, canvas in enumerate(self._canvases):
+            if canvas.oversized:
+                continue
+            fit = canvas.best_fit(patch)
+            if fit is not None and fit[1] < best_score:
+                best_canvas = canvas_index
+                best_rect, best_score = fit
+        if best_canvas >= 0:
+            return PlacementPlan(
+                patch=patch,
+                kind="fit",
+                canvases_after=len(self._canvases),
+                equivalent_after=self._equivalent,
+                canvas_index=best_canvas,
+                rect_index=best_rect,
+            )
+        if self._should_repack_on_overflow(patch):
+            repacked = self.solver.pack(self._patches + [patch])
+            return PlacementPlan(
+                patch=patch,
+                kind="repack",
+                canvases_after=len(repacked),
+                equivalent_after=equivalent_canvases(
+                    repacked, self.equivalent_canvas_pixels
+                ),
+                repacked=repacked,
+            )
+        return PlacementPlan(
+            patch=patch,
+            kind="new",
+            canvases_after=len(self._canvases) + 1,
+            equivalent_after=self._equivalent + 1,
+        )
+
+    def _should_repack_on_overflow(self, patch: Patch) -> bool:
+        """Opening a canvas despite ample free space signals drift."""
+        if self._active_count == 0:
+            return False
+        free = self._active_count * self.solver.canvas_area - self._active_used
+        if free < (1.0 + self.drift_margin) * patch.area:
+            return False  # the live canvases are genuinely full
+        # Growth gate: re-pack only once the queue grew ~25% beyond the
+        # last re-pack, keeping total re-pack cost amortised O(1)/arrival.
+        grown = len(self._patches) + 1 - self._last_repack_size
+        return grown >= max(1, self._last_repack_size // 4)
+
+    def commit(self, plan: PlacementPlan) -> List[Canvas]:
+        """Apply a plan produced by :meth:`probe`.
+
+        The packing must not have been mutated between the probe and the
+        commit (the scheduler calls them back to back).
+        """
+        patch = plan.patch
+        self._patches.append(patch)
+        if plan.kind == "repack":
+            assert plan.repacked is not None
+            self._adopt(plan.repacked)
+            if not self.always_repack:
+                self.stats["full_repacks"] += 1
+            return self._canvases
+        if plan.kind == "oversized":
+            canvas = Canvas(
+                width=patch.width,
+                height=patch.height,
+                canvas_id=self._next_id,
+                oversized=True,
+            )
+            self._next_id += 1
+            canvas.try_place(patch)
+            self._canvases.append(canvas)
+            self._equivalent = plan.equivalent_after
+            self.stats["oversized_canvases"] += 1
+            return self._canvases
+        if plan.kind == "new":
+            canvas = Canvas(
+                width=self.solver.canvas_width,
+                height=self.solver.canvas_height,
+                canvas_id=self._next_id,
+            )
+            self._next_id += 1
+            if canvas.try_place(patch) is None:  # pragma: no cover - cannot happen
+                raise RuntimeError("fresh canvas failed to accept a fitting patch")
+            self._canvases.append(canvas)
+            self._equivalent += 1
+            self._active_count += 1
+            self._active_used += patch.area
+            self.stats["new_canvases"] += 1
+        else:  # "fit"
+            self._canvases[plan.canvas_index].place(patch, plan.rect_index)
+            self._active_used += patch.area
+            self.stats["incremental_placements"] += 1
+        return self._canvases
+
+    def add(self, patch: Patch) -> List[Canvas]:
+        """Probe and commit in one step (for callers without a veto stage)."""
+        return self.commit(self.probe(patch))
+
+    def reset(self, patches: Sequence[Patch] = ()) -> List[Canvas]:
+        """Start a fresh queue (after the canvases were invoked)."""
+        self._patches = list(patches)
+        self._adopt(self.solver.pack(self._patches))
+        self.stats["resets"] += 1
+        return self._canvases
+
+    # ------------------------------------------------------------------ drift
+    def _adopt(self, canvases: List[Canvas]) -> None:
+        """Take over a freshly batch-packed canvas list and re-seed the
+        drift bookkeeping from it."""
+        self._canvases = canvases
+        self._next_id = len(canvases)
+        self._equivalent = equivalent_canvases(canvases, self.equivalent_canvas_pixels)
+        self._active_used = sum(
+            canvas.used_area for canvas in canvases if not canvas.oversized
+        )
+        self._active_count = sum(1 for canvas in canvases if not canvas.oversized)
+        self._last_repack_size = len(self._patches)

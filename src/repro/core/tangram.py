@@ -80,6 +80,9 @@ class TangramConfig:
     model_memory_gb: float = 2.5
     canvas_memory_gb: float = 0.35
     latency_profile_iterations: int = 300
+    #: Online-scheduler fast path (incremental stitching + heap deadlines).
+    scheduler_incremental: bool = True
+    scheduler_drift_margin: float = 0.05
 
 
 class Tangram:
@@ -193,4 +196,6 @@ class Tangram:
             model_memory_gb=self.config.model_memory_gb,
             canvas_memory_gb=self.config.canvas_memory_gb,
             streams=self.streams,
+            incremental=self.config.scheduler_incremental,
+            drift_margin=self.config.scheduler_drift_margin,
         )

@@ -69,6 +69,14 @@ class EndToEndConfig:
     mark_batch_size: int = 8
     mark_timeout: float = 0.25
     clipper_initial_batch: int = 4
+    #: Tangram scheduler fast path: incremental stitching + heap-tracked
+    #: deadlines (see :class:`repro.core.scheduler.TangramScheduler`).
+    scheduler_incremental: bool = True
+    scheduler_drift_margin: float = 0.05
+    #: Re-pack the whole queue on every arrival through the incremental
+    #: plumbing; metrics become byte-identical to ``scheduler_incremental
+    #: = False`` (used for equivalence checks).
+    scheduler_full_repack_equivalent: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -236,6 +244,9 @@ class EndToEndRunner:
                 estimator=estimator,
                 latency_model=self.latency_model,
                 streams=self.streams.spawn("scheduler"),
+                incremental=config.scheduler_incremental,
+                drift_margin=config.scheduler_drift_margin,
+                full_repack_equivalent=config.scheduler_full_repack_equivalent,
             )
         if config.strategy == "clipper":
             return ClipperScheduler(

@@ -26,12 +26,16 @@ the step the paper performs before Algorithm 1.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 from scipy import ndimage
 
-from repro.video.geometry import Box
+from repro.video.geometry import Box, merge_overlapping
+
+#: 8-connected structuring element shared by dilation and labelling; built
+#: once at import instead of per :func:`mask_to_boxes` call.
+_STRUCTURE_8: np.ndarray = np.ones((3, 3), dtype=bool)
 
 
 class GaussianMixtureBackgroundSubtractor:
@@ -78,6 +82,11 @@ class GaussianMixtureBackgroundSubtractor:
         self._weights: Optional[np.ndarray] = None  # (K, H, W)
         self._means: Optional[np.ndarray] = None
         self._variances: Optional[np.ndarray] = None
+        #: Reusable per-frame work buffers, allocated once in
+        #: :meth:`_initialise`; :meth:`apply` runs almost entirely with
+        #: in-place ufuncs (``out=`` / ``where=``) instead of rebuilding
+        #: ~15 ``(K, H, W)`` temporaries per frame.
+        self._buffers: Dict[str, np.ndarray] = {}
         self.frames_seen = 0
 
     # ------------------------------------------------------------------ state
@@ -96,6 +105,24 @@ class GaussianMixtureBackgroundSubtractor:
         # Seed the first component with the first frame.
         self._weights[0] = 1.0
         self._means[0] = frame
+        shape = (k, height, width)
+        self._buffers = {
+            "sigma": np.empty(shape, dtype=np.float32),
+            "diff": np.empty(shape, dtype=np.float32),
+            "work": np.empty(shape, dtype=np.float32),
+            "rank": np.empty(shape, dtype=np.float32),
+            "matches": np.empty(shape, dtype=bool),
+            "bool_work": np.empty(shape, dtype=bool),
+            "is_best": np.empty(shape, dtype=bool),
+            "bg_sorted": np.empty(shape, dtype=bool),
+            "bg_flags": np.empty(shape, dtype=bool),
+            "best": np.empty((height, width), dtype=np.intp),
+            "weakest": np.empty((height, width), dtype=np.intp),
+            "any_match": np.empty((height, width), dtype=bool),
+            "no_match": np.empty((height, width), dtype=bool),
+            "weight_sum": np.empty((height, width), dtype=np.float32),
+            "k_index": np.arange(k, dtype=np.intp).reshape(k, 1, 1),
+        }
 
     # ------------------------------------------------------------------ apply
     def apply(self, frame: np.ndarray) -> np.ndarray:
@@ -123,69 +150,100 @@ class GaussianMixtureBackgroundSubtractor:
         means = self._means
         variances = self._variances
         assert weights is not None and means is not None and variances is not None
+        buf = self._buffers
+        sigma = buf["sigma"]
+        diff = buf["diff"]
+        work = buf["work"]
+        rank = buf["rank"]
+        matches = buf["matches"]
+        bool_work = buf["bool_work"]
+        is_best = buf["is_best"]
+        best = buf["best"]
+        any_match = buf["any_match"]
+        no_match = buf["no_match"]
+        k_index = buf["k_index"]
+        frame_k = frame[None, :, :]
 
-        sigma = np.sqrt(variances)
-        distance = np.abs(frame[None, :, :] - means)
-        matches = distance <= self.match_threshold * sigma  # (K, H, W)
+        np.sqrt(variances, out=sigma)
+        np.subtract(frame_k, means, out=diff)
+        np.abs(diff, out=work)  # |frame - mean|
+        np.multiply(sigma, self.match_threshold, out=rank)  # rank as scratch
+        np.less_equal(work, rank, out=matches)  # (K, H, W)
 
         # Only the best-matching (highest weight/sigma among matching)
         # component is updated, per the original formulation.
-        rank = weights / np.maximum(sigma, 1e-6)
-        rank_masked = np.where(matches, rank, -np.inf)
-        best = np.argmax(rank_masked, axis=0)  # (H, W)
-        any_match = matches.any(axis=0)
+        np.maximum(sigma, 1e-6, out=sigma)
+        np.divide(weights, sigma, out=rank)
+        np.logical_not(matches, out=bool_work)
+        np.copyto(rank, -np.inf, where=bool_work)
+        np.argmax(rank, axis=0, out=best)  # (H, W)
+        np.any(matches, axis=0, out=any_match)
 
-        k_index = np.arange(self.num_gaussians)[:, None, None]
-        is_best = (k_index == best[None, :, :]) & any_match[None, :, :]
+        np.equal(k_index, best[None, :, :], out=is_best)
+        np.logical_and(is_best, any_match[None, :, :], out=is_best)
 
         alpha = self.learning_rate
         # Weight update: w <- (1 - alpha) w + alpha * ownership.
         weights *= 1.0 - alpha
-        weights += alpha * is_best.astype(np.float32)
+        np.add(weights, alpha, out=weights, where=is_best)
 
         # Mean / variance update for the owning component.
         rho = alpha  # The standard simplification rho = alpha.
-        diff = frame[None, :, :] - means
-        means += np.where(is_best, rho * diff, 0.0)
-        variances += np.where(is_best, rho * (diff * diff - variances), 0.0)
+        np.multiply(diff, rho, out=work)
+        np.add(means, work, out=means, where=is_best)
+        np.multiply(diff, diff, out=work)
+        np.subtract(work, variances, out=work)
+        np.multiply(work, rho, out=work)
+        np.add(variances, work, out=variances, where=is_best)
         np.maximum(variances, self.min_variance, out=variances)
 
         # Replace the weakest component where nothing matched.
-        no_match = ~any_match
+        np.logical_not(any_match, out=no_match)
         if np.any(no_match):
-            weakest = np.argmin(weights, axis=0)
-            replace = (k_index == weakest[None, :, :]) & no_match[None, :, :]
-            means[:] = np.where(replace, frame[None, :, :], means)
-            variances[:] = np.where(replace, self.initial_variance, variances)
-            weights[:] = np.where(replace, 0.05, weights)
+            weakest = buf["weakest"]
+            np.argmin(weights, axis=0, out=weakest)
+            replace = is_best  # is_best is dead from here on; reuse it
+            np.equal(k_index, weakest[None, :, :], out=replace)
+            np.logical_and(replace, no_match[None, :, :], out=replace)
+            np.copyto(means, frame_k, where=replace)
+            np.copyto(variances, self.initial_variance, where=replace)
+            np.copyto(weights, 0.05, where=replace)
 
         # Renormalise weights.
-        weights /= np.maximum(weights.sum(axis=0, keepdims=True), 1e-6)
+        weight_sum = buf["weight_sum"]
+        np.sum(weights, axis=0, out=weight_sum)
+        np.maximum(weight_sum, 1e-6, out=weight_sum)
+        np.divide(weights, weight_sum[None, :, :], out=weights)
 
-        # Determine which components form the background.
-        order = np.argsort(-(weights / np.maximum(np.sqrt(variances), 1e-6)), axis=0)
+        # Determine which components form the background (rank by
+        # weight / sigma, descending).
+        np.sqrt(variances, out=sigma)
+        np.maximum(sigma, 1e-6, out=sigma)
+        np.divide(weights, sigma, out=rank)
+        np.negative(rank, out=rank)
+        order = np.argsort(rank, axis=0)
         sorted_weights = np.take_along_axis(weights, order, axis=0)
-        cumulative = np.cumsum(sorted_weights, axis=0)
+        np.cumsum(sorted_weights, axis=0, out=work)
         # Component ranks 0..b are background where cumulative (exclusive)
         # is still below the ratio.
-        background_sorted = (
-            np.concatenate(
-                [
-                    np.zeros((1,) + cumulative.shape[1:], dtype=np.float32),
-                    cumulative[:-1],
-                ],
-                axis=0,
-            )
-            < self.background_ratio
-        )
+        background_sorted = buf["bg_sorted"]
+        background_sorted[0] = True  # exclusive cumsum 0 < ratio (ratio > 0)
+        np.less(work[:-1], self.background_ratio, out=background_sorted[1:])
         # Map back to original component order.
-        background_flags = np.zeros_like(background_sorted)
+        background_flags = buf["bg_flags"]
+        background_flags.fill(False)
         np.put_along_axis(background_flags, order, background_sorted, axis=0)
 
         matched_is_background = np.take_along_axis(
             background_flags, best[None, :, :], axis=0
         )[0]
-        foreground = no_match | (any_match & ~matched_is_background)
+        # foreground = no_match | (any_match & ~matched_is_background);
+        # built in the freshly allocated take_along_axis result, which the
+        # caller then owns.
+        foreground = matched_is_background
+        np.logical_not(foreground, out=foreground)
+        np.logical_and(foreground, any_match, out=foreground)
+        np.logical_or(foreground, no_match, out=foreground)
 
         self.frames_seen += 1
         return foreground
@@ -216,11 +274,10 @@ def mask_to_boxes(
     if mask.ndim != 2:
         raise ValueError("mask must be two-dimensional")
     if dilation_iterations > 0:
-        structure = np.ones((3, 3), dtype=bool)
         mask = ndimage.binary_dilation(
-            mask, structure=structure, iterations=dilation_iterations
+            mask, structure=_STRUCTURE_8, iterations=dilation_iterations
         )
-    labels, count = ndimage.label(mask, structure=np.ones((3, 3), dtype=bool))
+    labels, count = ndimage.label(mask, structure=_STRUCTURE_8)
     boxes: List[Box] = []
     if count == 0:
         return boxes
@@ -235,7 +292,5 @@ def mask_to_boxes(
             continue
         boxes.append(Box(float(cols.start), float(rows.start), float(width), float(height)))
     if merge_touching and len(boxes) > 1:
-        from repro.video.geometry import merge_overlapping
-
         boxes = merge_overlapping(boxes)
     return boxes

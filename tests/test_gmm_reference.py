@@ -1,0 +1,139 @@
+"""The buffer-reusing GMM update must match the textbook formulation.
+
+:meth:`GaussianMixtureBackgroundSubtractor.apply` was rewritten with
+preallocated work buffers and in-place numpy ops; this test pins it
+against a direct, allocation-heavy transcription of the Stauffer-Grimson
+update (the original implementation) on identical frame sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.gmm import GaussianMixtureBackgroundSubtractor
+
+
+def _reference_apply(model, frame: np.ndarray) -> np.ndarray:
+    """One Stauffer-Grimson step, written with plain numpy temporaries."""
+    weights, means, variances = model["weights"], model["means"], model["variances"]
+    params = model["params"]
+    k_count = weights.shape[0]
+
+    sigma = np.sqrt(variances)
+    distance = np.abs(frame[None, :, :] - means)
+    matches = distance <= params["match_threshold"] * sigma
+
+    rank = weights / np.maximum(sigma, 1e-6)
+    rank_masked = np.where(matches, rank, -np.inf)
+    best = np.argmax(rank_masked, axis=0)
+    any_match = matches.any(axis=0)
+
+    k_index = np.arange(k_count)[:, None, None]
+    is_best = (k_index == best[None, :, :]) & any_match[None, :, :]
+
+    alpha = params["learning_rate"]
+    weights *= 1.0 - alpha
+    weights += alpha * is_best.astype(np.float32)
+
+    rho = alpha
+    diff = frame[None, :, :] - means
+    means += np.where(is_best, rho * diff, 0.0)
+    variances += np.where(is_best, rho * (diff * diff - variances), 0.0)
+    np.maximum(variances, params["min_variance"], out=variances)
+
+    no_match = ~any_match
+    if np.any(no_match):
+        weakest = np.argmin(weights, axis=0)
+        replace = (k_index == weakest[None, :, :]) & no_match[None, :, :]
+        means[:] = np.where(replace, frame[None, :, :], means)
+        variances[:] = np.where(replace, params["initial_variance"], variances)
+        weights[:] = np.where(replace, 0.05, weights)
+
+    weights /= np.maximum(weights.sum(axis=0, keepdims=True), 1e-6)
+
+    order = np.argsort(-(weights / np.maximum(np.sqrt(variances), 1e-6)), axis=0)
+    sorted_weights = np.take_along_axis(weights, order, axis=0)
+    cumulative = np.cumsum(sorted_weights, axis=0)
+    background_sorted = (
+        np.concatenate(
+            [
+                np.zeros((1,) + cumulative.shape[1:], dtype=np.float32),
+                cumulative[:-1],
+            ],
+            axis=0,
+        )
+        < params["background_ratio"]
+    )
+    background_flags = np.zeros_like(background_sorted)
+    np.put_along_axis(background_flags, order, background_sorted, axis=0)
+    matched_is_background = np.take_along_axis(
+        background_flags, best[None, :, :], axis=0
+    )[0]
+    return no_match | (any_match & ~matched_is_background)
+
+
+def _frame_sequence(height=24, width=32, frames=8, seed=5):
+    rng = np.random.default_rng(seed)
+    background = rng.uniform(80.0, 120.0, size=(height, width))
+    sequence = []
+    for index in range(frames):
+        frame = background + rng.normal(0.0, 3.0, size=(height, width))
+        if index >= 2:
+            top = 2 + 2 * index
+            frame[top : top + 6, 8:16] += 100.0  # a moving foreground blob
+        sequence.append(frame.astype(np.float32))
+    return sequence
+
+
+def test_apply_matches_reference_implementation():
+    subtractor = GaussianMixtureBackgroundSubtractor()
+    frames = _frame_sequence()
+
+    # Reference state mirrors the subtractor's initialisation on frame 0.
+    first = frames[0]
+    k = subtractor.num_gaussians
+    reference = {
+        "weights": np.zeros((k,) + first.shape, dtype=np.float32),
+        "means": np.zeros((k,) + first.shape, dtype=np.float32),
+        "variances": np.full(
+            (k,) + first.shape, subtractor.initial_variance, dtype=np.float32
+        ),
+        "params": {
+            "learning_rate": subtractor.learning_rate,
+            "match_threshold": subtractor.match_threshold,
+            "background_ratio": subtractor.background_ratio,
+            "initial_variance": subtractor.initial_variance,
+            "min_variance": subtractor.min_variance,
+        },
+    }
+    reference["weights"][0] = 1.0
+    reference["means"][0] = first
+
+    mask0 = subtractor.apply(first)
+    assert not mask0.any()
+
+    for frame in frames[1:]:
+        got = subtractor.apply(frame)
+        expected = _reference_apply(reference, frame)
+        np.testing.assert_array_equal(got, expected)
+        np.testing.assert_allclose(
+            subtractor._weights, reference["weights"], rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(
+            subtractor._means, reference["means"], rtol=1e-5, atol=1e-4
+        )
+        np.testing.assert_allclose(
+            subtractor._variances, reference["variances"], rtol=1e-5, atol=1e-3
+        )
+
+
+def test_apply_returns_fresh_arrays():
+    """Returned masks must not alias internal work buffers."""
+    subtractor = GaussianMixtureBackgroundSubtractor()
+    frames = _frame_sequence(frames=4)
+    subtractor.apply(frames[0])
+    first = subtractor.apply(frames[1])
+    snapshot = first.copy()
+    subtractor.apply(frames[2])
+    subtractor.apply(frames[3])
+    np.testing.assert_array_equal(first, snapshot)
