@@ -10,6 +10,7 @@ Run it with::
 
     PYTHONPATH=src python -m benchmarks.perf                # time + report
     PYTHONPATH=src python -m benchmarks.perf --check        # fail on >2x regression
+    PYTHONPATH=src python -m benchmarks.perf --quick --check  # tier-1 smoke gate
     PYTHONPATH=src python -m benchmarks.perf --update-baseline
 
 See ``benchmarks/perf/README.md`` for the JSON schema.
@@ -17,6 +18,7 @@ See ``benchmarks/perf/README.md`` for the JSON schema.
 
 from benchmarks.perf.harness import (
     BASELINE_PATH,
+    QUICK_SECTIONS,
     BenchResult,
     check_against_baseline,
     load_baseline,
@@ -26,6 +28,7 @@ from benchmarks.perf.harness import (
 
 __all__ = [
     "BASELINE_PATH",
+    "QUICK_SECTIONS",
     "BenchResult",
     "check_against_baseline",
     "load_baseline",

@@ -14,6 +14,10 @@ default:
 ``--update-baseline``:
     Write the fresh report to ``BENCH_perf.json`` (commit it with the PR
     that changes performance).
+``--quick``:
+    Smoke mode: one repeat of the cheap 256-depth sections only.  The
+    tier-1 test suite runs ``--quick --check`` (see
+    ``tests/test_perf_smoke.py``) so hot-path regressions fail pytest.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from pathlib import Path
 
 from benchmarks.perf.harness import (
     BASELINE_PATH,
+    QUICK_SECTIONS,
     SECTIONS,
     check_against_baseline,
     load_baseline,
@@ -51,6 +56,13 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=3, help="runs per section, best kept (default 3)"
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: 1 repeat, only the cheap 256-depth sections "
+        "(deep-queue and fleet scenarios are skipped, and so are their "
+        "derived-ratio gates) — what the tier-1 smoke test runs",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=2.0,
@@ -61,6 +73,19 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="--check fails when the scheduler arrival speedup drops below this (default 5.0)",
+    )
+    parser.add_argument(
+        "--min-index-speedup",
+        type=float,
+        default=3.0,
+        help="--check fails when the depth-4096 index speedup drops below this (default 3.0)",
+    )
+    parser.add_argument(
+        "--min-efficiency-ratio",
+        type=float,
+        default=0.99,
+        help="--check fails when partial-re-pack mean canvas efficiency falls "
+        "below this fraction of the batch packer's (default 0.99)",
     )
     parser.add_argument(
         "--only",
@@ -76,12 +101,20 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.update_baseline and args.only:
+    if args.update_baseline and (args.only or args.quick):
         # A partial report would overwrite the baseline and silently drop
         # every section not re-run from the regression gate.
-        parser.error("--update-baseline requires running all sections (drop --only)")
+        parser.error(
+            "--update-baseline requires running all sections (drop --only/--quick)"
+        )
 
-    report = run_all(repeats=args.repeats, only=args.only)
+    only = args.only
+    repeats = args.repeats
+    if args.quick:
+        only = only or list(QUICK_SECTIONS)
+        repeats = 1
+
+    report = run_all(repeats=repeats, only=only)
     sections = report["sections"]
     width = max(len(name) for name in sections)
     print(f"{'section'.ljust(width)}  seconds")
@@ -112,6 +145,8 @@ def main(argv=None) -> int:
             baseline,
             max_regression=args.max_regression,
             min_speedup=args.min_speedup,
+            min_index_speedup=args.min_index_speedup,
+            min_efficiency_ratio=args.min_efficiency_ratio,
         )
         if failures:
             for failure in failures:

@@ -7,6 +7,9 @@
 * :mod:`repro.core.stitching` -- Algorithm 2 (lines 24-39), the
   patch-stitching solver that packs variable-size patches onto fixed-size
   canvases without resizing, padding, rotation or overlap.
+* :mod:`repro.core.freerect_index` -- the size-class-bucketed index over
+  all live free rectangles that keeps the incremental probe sub-linear in
+  the number of pending canvases.
 * :mod:`repro.core.latency` -- the latency estimator (offline profiling,
   slack = mean + 3 sigma).
 * :mod:`repro.core.scheduler` -- the online SLO-aware batching invoker that
@@ -17,6 +20,7 @@
 
 from repro.core.patches import Patch
 from repro.core.partitioning import FramePartitioner, partition_rois
+from repro.core.freerect_index import FreeRectIndex
 from repro.core.stitching import (
     Canvas,
     IncrementalStitcher,
@@ -33,6 +37,7 @@ __all__ = [
     "FramePartitioner",
     "partition_rois",
     "Canvas",
+    "FreeRectIndex",
     "IncrementalStitcher",
     "Placement",
     "PlacementPlan",

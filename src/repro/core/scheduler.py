@@ -202,6 +202,19 @@ class TangramScheduler(BaseScheduler):
         Fast path only: how far the live packing's efficiency may drift
         below what a full re-pack achieves before one is triggered (see
         :class:`IncrementalStitcher`).
+    repack_scope:
+        Fast path only: ``"queue"`` re-packs the whole queue on a wasteful
+        overflow (PR-1 behaviour), ``"canvas"`` re-packs only the
+        least-efficient canvas plus the incoming patch — the fleet-scale
+        configuration (see :class:`IncrementalStitcher`).
+    use_index:
+        Fast path only: answer probes from the size-class
+        :class:`~repro.core.freerect_index.FreeRectIndex` instead of the
+        linear scan over every free rectangle (identical decisions).
+    max_partial_victims, partial_patch_budget:
+        ``repack_scope="canvas"`` tuning: how many worst canvases one
+        partial re-pack may dissolve, and the pooled-patch cap bounding
+        its cost (see :class:`IncrementalStitcher`).
     full_repack_equivalent:
         Fast path only: keep the incremental plumbing but re-pack the whole
         queue on every arrival, so every scheduling decision — and therefore
@@ -222,6 +235,10 @@ class TangramScheduler(BaseScheduler):
         streams: Optional[RandomStreams] = None,
         incremental: bool = True,
         drift_margin: float = 0.05,
+        repack_scope: str = "queue",
+        use_index: bool = True,
+        max_partial_victims: int = 8,
+        partial_patch_budget: int = 48,
         full_repack_equivalent: bool = False,
     ) -> None:
         latency_model = latency_model or DetectorLatencyModel.serverless()
@@ -247,6 +264,10 @@ class TangramScheduler(BaseScheduler):
                 drift_margin=drift_margin,
                 always_repack=full_repack_equivalent,
                 equivalent_canvas_pixels=self.estimator.canvas_pixels,
+                repack_scope=repack_scope,
+                use_index=use_index,
+                max_partial_victims=max_partial_victims,
+                partial_patch_budget=partial_patch_budget,
             )
             if incremental
             else None
@@ -377,3 +398,10 @@ class TangramScheduler(BaseScheduler):
         if self._packer is None:
             return {}
         return dict(self._packer.stats)
+
+    @property
+    def index_stats(self) -> dict:
+        """Size-class index counters; empty without the fast path/index."""
+        if self._packer is None:
+            return {}
+        return self._packer.index_stats

@@ -307,10 +307,16 @@ class PatchStitchingSolver:
         return sum(canvas.efficiency for canvas in canvases) / len(canvases)
 
     @staticmethod
-    def validate_packing(canvases: Iterable[Canvas]) -> None:
+    def validate_packing(canvases: Iterable[Canvas], strict: bool = False) -> None:
         """Assert the packing invariants: placements stay inside the canvas
-        and never overlap.  Raises ``AssertionError`` on violation; used by
-        the property-based tests.
+        and, in ``strict`` mode, never overlap.  Raises ``AssertionError``
+        on violation.
+
+        The default mode only runs the O(n) in-bounds check so the call is
+        cheap enough for hot loops and sanity assertions.  ``strict=True``
+        adds the expensive debug recomputations — the cached ``used_area``
+        cross-check and the pairwise overlap sweep — and is what the test
+        suite always runs (see the strict call sites under ``tests/``).
 
         The pairwise overlap check runs as an x-sorted sweep: boxes are
         sorted by their left edge and each box is only compared against the
@@ -329,6 +335,8 @@ class PatchStitchingSolver:
                     raise AssertionError(
                         f"patch {patch_id} is placed outside canvas {canvas.canvas_id}"
                     )
+            if not strict:
+                continue
             recomputed = canvas.recompute_used_area()
             if abs(canvas.used_area - recomputed) > 1e-6 * max(1.0, recomputed):
                 raise AssertionError(
@@ -381,9 +389,10 @@ class PlacementPlan:
 
     patch: Patch
     #: ``"fit"`` (placed into an existing canvas), ``"new"`` (opens a blank
-    #: canvas), ``"oversized"`` (opens a dedicated oversized canvas), or
-    #: ``"repack"`` (full-repack-equivalent mode: the whole queue was
-    #: re-packed from scratch).
+    #: canvas), ``"oversized"`` (opens a dedicated oversized canvas),
+    #: ``"repack"`` (the whole queue was re-packed from scratch), or
+    #: ``"partial"`` (only the least-efficient canvas was re-packed
+    #: together with the incoming patch).
     kind: str
     #: Canvas count if the plan is committed (GPU-memory constraint input).
     canvases_after: int
@@ -391,8 +400,13 @@ class PlacementPlan:
     equivalent_after: int
     canvas_index: int = -1
     rect_index: int = -1
-    #: Only for ``kind == "repack"``: the already-computed packing.
+    #: For ``kind == "repack"``: the already-computed packing of the whole
+    #: queue.  For ``kind == "partial"``: the replacement canvases of the
+    #: re-packed victims (always fewer than ``victims + 1``).
     repacked: Optional[List[Canvas]] = None
+    #: Only for ``kind == "partial"``: indices of the canvases being
+    #: dissolved into ``repacked`` (the least-efficient ones first).
+    victim_indices: Optional[List[int]] = None
 
 
 class IncrementalStitcher:
@@ -402,8 +416,11 @@ class IncrementalStitcher:
     every arrival, which makes the online scheduler's hot path
     O(n * canvases * free-rects) per patch.  This class instead keeps the
     canvases and their guillotine free-rectangle pools alive and places each
-    new patch with a *global* best-short-side-fit over all live pools —
-    O(total free rects) per arrival.
+    new patch with a *global* best-short-side-fit over all live pools.
+    With the default size-class index
+    (:class:`~repro.core.freerect_index.FreeRectIndex`) a probe only scans
+    the few buckets whose size classes can contain the winner, instead of
+    every live free rectangle; decisions are byte-identical either way.
 
     Packing patches in arrival order is worse than the batch solver's
     decreasing-area order, but the live packing's efficiency can only drop
@@ -428,6 +445,34 @@ class IncrementalStitcher:
         live canvases may hold before opening another canvas triggers a
         re-pack.  Smaller values re-pack more often and track the batch
         packer more tightly.
+    repack_scope:
+        ``"queue"`` (default): a wasteful overflow re-packs the whole
+        queue, as in PR 1 — best packing quality, but O(queue) per
+        re-pack.  ``"canvas"``: re-pack only the few *least-efficient*
+        live canvases (up to :attr:`max_partial_victims`) together with
+        the incoming patch — O(a few canvases) per re-pack, which keeps
+        the overflow path flat at fleet-scale queue depths.  A partial
+        re-pack is only adopted when it saves at least one canvas over
+        not re-packing at all, so the decision never lowers mean canvas
+        efficiency versus the no-re-pack alternative.
+    max_partial_victims:
+        ``repack_scope="canvas"`` only: how many of the least-efficient
+        canvases a partial re-pack may dissolve at once.  Larger values
+        consolidate harder (tracking the batch packer more closely) at a
+        per-overflow cost that grows with the victims' patch count.
+    partial_patch_budget:
+        ``repack_scope="canvas"`` only: cap on the pooled patch count a
+        partial re-pack may re-pack in one go (the trial re-pack's cost
+        bound).  On small queues the victims cover nearly the whole queue
+        within this budget, so partial re-packs approach batch quality;
+        on deep queues the budget keeps the overflow path O(1)-ish.
+    use_index:
+        When true (the default), probes consult a
+        :class:`~repro.core.freerect_index.FreeRectIndex` — a bucketed
+        per-size-class index over all live free rectangles — instead of
+        linearly scanning every canvas's pool.  Placement decisions are
+        byte-identical either way (the index is exact); the knob exists
+        for equivalence tests and A/B benchmarks.
     always_repack:
         Full-repack-equivalent mode: every probe packs the whole queue from
         scratch with the batch solver, making the scheduler's decisions (and
@@ -445,12 +490,37 @@ class IncrementalStitcher:
         drift_margin: float = 0.05,
         always_repack: bool = False,
         equivalent_canvas_pixels: Optional[float] = None,
+        repack_scope: str = "queue",
+        use_index: bool = True,
+        max_partial_victims: int = 8,
+        partial_patch_budget: int = 48,
     ) -> None:
         if drift_margin < 0:
             raise ValueError("drift_margin must be non-negative")
+        if repack_scope not in ("queue", "canvas"):
+            raise ValueError(
+                f"repack_scope must be 'queue' or 'canvas', got {repack_scope!r}"
+            )
+        if max_partial_victims < 1:
+            raise ValueError("max_partial_victims must be at least 1")
+        if partial_patch_budget < 2:
+            raise ValueError("partial_patch_budget must be at least 2")
         self.solver = solver or PatchStitchingSolver()
         self.drift_margin = drift_margin
         self.always_repack = always_repack
+        self.repack_scope = repack_scope
+        self.max_partial_victims = max_partial_victims
+        self.partial_patch_budget = partial_patch_budget
+        #: Failed-consolidation backoff state (probe bookkeeping).
+        self._partial_failures = 0
+        self._partial_retry_size = 0
+        # Full-repack-equivalent mode never probes the pools, so the index
+        # would only be maintenance overhead there.
+        self._index: Optional["FreeRectIndex"] = None
+        if use_index and not always_repack:
+            from repro.core.freerect_index import FreeRectIndex
+
+            self._index = FreeRectIndex()
         self.equivalent_canvas_pixels = (
             self.solver.canvas_area
             if equivalent_canvas_pixels is None
@@ -464,10 +534,16 @@ class IncrementalStitcher:
             "new_canvases": 0,
             "oversized_canvases": 0,
             "full_repacks": 0,
+            "partial_repacks": 0,
             "resets": 0,
         }
         self._patches: List[Patch] = []
         self._canvases: List[Canvas] = []
+        if self._index is not None:
+            # Attach the (identity-stable) canvas list now: compaction
+            # re-walks it, and every later mutation is either in place or
+            # goes through ``_adopt`` which re-attaches.
+            self._index.rebuild(self._canvases)
         self._next_id = 0
         self._equivalent = 0
         #: Total patch area on non-oversized canvases (drift bookkeeping).
@@ -502,21 +578,24 @@ class IncrementalStitcher:
             return 0.0
         return self._active_used / (self._active_count * self.solver.canvas_area)
 
+    @property
+    def mean_canvas_efficiency(self) -> float:
+        """Mean per-canvas efficiency of the live packing (Fig. 13)."""
+        return PatchStitchingSolver.mean_efficiency(self._canvases)
+
+    @property
+    def index_stats(self) -> dict:
+        """Counters of the size-class index; empty when ``use_index=False``."""
+        if self._index is None:
+            return {}
+        return dict(self._index.stats)
+
     # ------------------------------------------------------------ probe/commit
     def probe(self, patch: Patch) -> PlacementPlan:
         """Plan the placement of ``patch`` without mutating any state."""
         self.stats["probes"] += 1
         if self.always_repack:
-            repacked = self.solver.pack(self._patches + [patch])
-            return PlacementPlan(
-                patch=patch,
-                kind="repack",
-                canvases_after=len(repacked),
-                equivalent_after=equivalent_canvases(
-                    repacked, self.equivalent_canvas_pixels
-                ),
-                repacked=repacked,
-            )
+            return self._full_repack_plan(patch)
         solver = self.solver
         if not patch.fits_on(solver.canvas_width, solver.canvas_height):
             if not solver.allow_oversized:
@@ -532,7 +611,74 @@ class IncrementalStitcher:
                 canvases_after=len(self._canvases) + 1,
                 equivalent_after=self._equivalent + max(1, extra),
             )
-        # Global best-short-side-fit across every live free-rectangle pool.
+        # Global best-short-side-fit across every live free-rectangle pool,
+        # answered by the size-class index when enabled (same decision
+        # either way; the index only skips provably non-winning buckets).
+        if self._index is not None:
+            fit = self._index.best_fit(patch.width, patch.height)
+        else:
+            fit = self.linear_best_fit(patch)
+        if fit is not None:
+            best_canvas, best_rect, _score = fit
+            return PlacementPlan(
+                patch=patch,
+                kind="fit",
+                canvases_after=len(self._canvases),
+                equivalent_after=self._equivalent,
+                canvas_index=best_canvas,
+                rect_index=best_rect,
+            )
+        if self._should_repack_on_overflow(patch):
+            if self.repack_scope == "canvas":
+                # Canvas scope bounds re-pack work by the patch budget:
+                # when the whole queue fits it, a full re-pack *is* the
+                # bounded operation (and tracks the batch packer exactly);
+                # past that, consolidate only the worst canvases.
+                if len(self._patches) + 1 <= self.partial_patch_budget:
+                    return self._full_repack_plan(patch)
+                # Linear backoff after failed consolidation attempts: a
+                # queue that just refused to consolidate will refuse again
+                # until it has changed, so retry only after the queue grew
+                # by the current failure streak.  (Probe bookkeeping only —
+                # placement decisions are unaffected; reset clears it.)
+                if len(self._patches) >= self._partial_retry_size:
+                    plan = self._plan_partial_repack(patch)
+                    if plan is not None:
+                        self._partial_failures = 0
+                        self._partial_retry_size = 0
+                        return plan
+                    self._partial_failures += 1
+                    self._partial_retry_size = (
+                        len(self._patches) + self._partial_failures
+                    )
+            else:
+                return self._full_repack_plan(patch)
+        return PlacementPlan(
+            patch=patch,
+            kind="new",
+            canvases_after=len(self._canvases) + 1,
+            equivalent_after=self._equivalent + 1,
+        )
+
+    def _full_repack_plan(self, patch: Patch) -> PlacementPlan:
+        """A ``"repack"`` plan: the whole queue plus ``patch``, batch-packed."""
+        repacked = self.solver.pack(self._patches + [patch])
+        return PlacementPlan(
+            patch=patch,
+            kind="repack",
+            canvases_after=len(repacked),
+            equivalent_after=equivalent_canvases(
+                repacked, self.equivalent_canvas_pixels
+            ),
+            repacked=repacked,
+        )
+
+    def linear_best_fit(self, patch: Patch) -> Optional[Tuple[int, int, float]]:
+        """The un-indexed global BSSF scan: ``(canvas_index, rect_index,
+        score)`` minimising ``(score, canvas_index, rect_index)``
+        lexicographically, or ``None`` when nothing fits.  This is the
+        reference the index is pinned against (and the probe path when
+        ``use_index=False``)."""
         best_canvas = -1
         best_rect = -1
         best_score = float("inf")
@@ -543,31 +689,68 @@ class IncrementalStitcher:
             if fit is not None and fit[1] < best_score:
                 best_canvas = canvas_index
                 best_rect, best_score = fit
-        if best_canvas >= 0:
-            return PlacementPlan(
-                patch=patch,
-                kind="fit",
-                canvases_after=len(self._canvases),
-                equivalent_after=self._equivalent,
-                canvas_index=best_canvas,
-                rect_index=best_rect,
-            )
-        if self._should_repack_on_overflow(patch):
-            repacked = self.solver.pack(self._patches + [patch])
-            return PlacementPlan(
-                patch=patch,
-                kind="repack",
-                canvases_after=len(repacked),
-                equivalent_after=equivalent_canvases(
-                    repacked, self.equivalent_canvas_pixels
-                ),
-                repacked=repacked,
-            )
+        if best_canvas < 0:
+            return None
+        return best_canvas, best_rect, best_score
+
+    def _plan_partial_repack(self, patch: Patch) -> Optional[PlacementPlan]:
+        """Re-pack only the least-efficient canvas together with ``patch``.
+
+        The victim set is grown greedily over the least-efficient standard
+        canvases, bounded by :attr:`max_partial_victims` and by
+        :attr:`partial_patch_budget` pooled patches (which caps the cost of
+        the single trial re-pack) — so on a *small* queue the victims cover
+        nearly everything and a partial re-pack approaches batch quality,
+        while on a fleet-scale queue the work stays O(a few canvases).  The
+        re-pack is adopted only when it *consolidates*: the replacement
+        needs at most ``len(victims)`` canvases, i.e. at least one canvas
+        is saved over the ``"new"`` alternative.  Returns ``None`` when no
+        standard canvas exists, the victims' free space cannot possibly
+        absorb the patch, or the trial re-pack does not consolidate
+        (caller falls back to opening a new canvas) — so a partial re-pack
+        never leaves the packing with more canvases — hence never lower
+        mean canvas efficiency — than not re-packing at all.
+        """
+        candidates = [
+            (canvas.efficiency, canvas_index)
+            for canvas_index, canvas in enumerate(self._canvases)
+            if not canvas.oversized
+        ]
+        if not candidates:
+            return None
+        candidates.sort()
+        canvas_area = self.solver.canvas_area
+        pool: List[Patch] = [patch]
+        pool_used = 0.0
+        victim_indices: List[int] = []
+        for _, canvas_index in candidates:
+            if len(victim_indices) >= self.max_partial_victims:
+                break
+            canvas = self._canvases[canvas_index]
+            if len(pool) + canvas.num_patches > self.partial_patch_budget:
+                # This victim alone would blow the budget, but a later,
+                # sparser candidate may still fit it.
+                continue
+            pool.extend(canvas.patches)
+            pool_used += canvas.used_area
+            victim_indices.append(canvas_index)
+        if not victim_indices:
+            return None
+        # Necessary condition for consolidation: the victims' combined
+        # free space must at least hold the incoming patch.
+        if len(victim_indices) * canvas_area - pool_used < patch.area:
+            return None
+        repacked = self.solver.pack(pool)
+        if len(repacked) > len(victim_indices):
+            return None
+        delta = len(repacked) - len(victim_indices)
         return PlacementPlan(
             patch=patch,
-            kind="new",
-            canvases_after=len(self._canvases) + 1,
-            equivalent_after=self._equivalent + 1,
+            kind="partial",
+            canvases_after=len(self._canvases) + delta,
+            equivalent_after=self._equivalent + delta,
+            repacked=repacked,
+            victim_indices=victim_indices,
         )
 
     def _should_repack_on_overflow(self, patch: Patch) -> bool:
@@ -577,6 +760,10 @@ class IncrementalStitcher:
         free = self._active_count * self.solver.canvas_area - self._active_used
         if free < (1.0 + self.drift_margin) * patch.area:
             return False  # the live canvases are genuinely full
+        if self.repack_scope == "canvas":
+            # A partial re-pack costs O(one canvas), so it needs no
+            # geometric spacing — intervene on every wasteful overflow.
+            return True
         # Growth gate: re-pack only once the queue grew ~25% beyond the
         # last re-pack, keeping total re-pack cost amortised O(1)/arrival.
         grown = len(self._patches) + 1 - self._last_repack_size
@@ -596,6 +783,35 @@ class IncrementalStitcher:
             if not self.always_repack:
                 self.stats["full_repacks"] += 1
             return self._canvases
+        if plan.kind == "partial":
+            assert plan.repacked is not None and plan.victim_indices
+            replacements = plan.repacked
+            victim_indices = plan.victim_indices
+            for canvas in replacements:
+                canvas.canvas_id = self._next_id
+                self._next_id += 1
+            # Replace victims slot-for-slot (so untouched canvases keep
+            # their indices and index entries stay valid); a consolidating
+            # re-pack has fewer replacements than victims, so the leftover
+            # victim slots are deleted, which shifts later indices and
+            # forces a full index rebuild.
+            reused = victim_indices[: len(replacements)]
+            for slot, canvas in zip(reused, replacements):
+                self._canvases[slot] = canvas
+            removed = sorted(victim_indices[len(replacements) :], reverse=True)
+            for slot in removed:
+                del self._canvases[slot]
+            self._active_count += len(replacements) - len(victim_indices)
+            self._active_used += patch.area
+            self._equivalent = plan.equivalent_after
+            self.stats["partial_repacks"] += 1
+            if self._index is not None:
+                if removed:
+                    self._index.rebuild(self._canvases)
+                else:
+                    for slot, canvas in zip(reused, replacements):
+                        self._index.reindex_canvas(slot, canvas)
+            return self._canvases
         if plan.kind == "oversized":
             canvas = Canvas(
                 width=patch.width,
@@ -608,6 +824,8 @@ class IncrementalStitcher:
             self._canvases.append(canvas)
             self._equivalent = plan.equivalent_after
             self.stats["oversized_canvases"] += 1
+            if self._index is not None:
+                self._index.reindex_canvas(len(self._canvases) - 1, canvas)
             return self._canvases
         if plan.kind == "new":
             canvas = Canvas(
@@ -623,10 +841,15 @@ class IncrementalStitcher:
             self._active_count += 1
             self._active_used += patch.area
             self.stats["new_canvases"] += 1
+            if self._index is not None:
+                self._index.reindex_canvas(len(self._canvases) - 1, canvas)
         else:  # "fit"
-            self._canvases[plan.canvas_index].place(patch, plan.rect_index)
+            canvas = self._canvases[plan.canvas_index]
+            canvas.place(patch, plan.rect_index)
             self._active_used += patch.area
             self.stats["incremental_placements"] += 1
+            if self._index is not None:
+                self._index.reindex_canvas(plan.canvas_index, canvas)
         return self._canvases
 
     def add(self, patch: Patch) -> List[Canvas]:
@@ -652,3 +875,7 @@ class IncrementalStitcher:
         )
         self._active_count = sum(1 for canvas in canvases if not canvas.oversized)
         self._last_repack_size = len(self._patches)
+        self._partial_failures = 0
+        self._partial_retry_size = 0
+        if self._index is not None:
+            self._index.rebuild(self._canvases)

@@ -83,6 +83,11 @@ class TangramConfig:
     #: Online-scheduler fast path (incremental stitching + heap deadlines).
     scheduler_incremental: bool = True
     scheduler_drift_margin: float = 0.05
+    #: Overflow re-pack scope: ``"queue"`` (whole queue, PR-1 behaviour) or
+    #: ``"canvas"`` (only the least-efficient canvas — fleet scale).
+    scheduler_repack_scope: str = "queue"
+    #: Probe via the size-class free-rectangle index (identical decisions).
+    scheduler_use_index: bool = True
 
 
 class Tangram:
@@ -198,4 +203,6 @@ class Tangram:
             streams=self.streams,
             incremental=self.config.scheduler_incremental,
             drift_margin=self.config.scheduler_drift_margin,
+            repack_scope=self.config.scheduler_repack_scope,
+            use_index=self.config.scheduler_use_index,
         )

@@ -63,16 +63,17 @@ class NetworkLink:
         self.propagation_delay = propagation_delay
         self.jitter_cv = jitter_cv
         self._rng = (streams or RandomStreams(3)).get("network/jitter")
+        self._bytes_per_second = bandwidth_mbps * 1e6 / 8.0
 
     @property
     def bytes_per_second(self) -> float:
-        return self.bandwidth_mbps * 1e6 / 8.0
+        return self._bytes_per_second
 
     def transfer_time(self, size_bytes: float) -> float:
         """Serialisation + propagation time for ``size_bytes``."""
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
-        base = size_bytes / self.bytes_per_second + self.propagation_delay
+        base = size_bytes / self._bytes_per_second + self.propagation_delay
         if self.jitter_cv > 0:
             base *= max(0.2, float(self._rng.normal(1.0, self.jitter_cv)))
         return base
@@ -96,10 +97,13 @@ class Uplink:
         self.name = name
         self._resource = Resource(simulator, capacity=1, name=name)
         self.records: List[TransmissionRecord] = []
+        # The division below runs once per transmitted patch; end-to-end
+        # fleet runs send hundreds of thousands, so hoist the constant.
+        self._bytes_per_second = bandwidth_mbps * 1e6 / 8.0
 
     @property
     def bytes_per_second(self) -> float:
-        return self.bandwidth_mbps * 1e6 / 8.0
+        return self._bytes_per_second
 
     @property
     def total_bytes(self) -> float:
@@ -124,7 +128,7 @@ class Uplink:
         """
         if size_bytes < 0:
             raise ValueError("size_bytes must be non-negative")
-        serialisation = size_bytes / self.bytes_per_second
+        serialisation = size_bytes / self._bytes_per_second
         enqueue_time = self.simulator.now
 
         def finished(job: ResourceJob) -> None:

@@ -73,6 +73,12 @@ class EndToEndConfig:
     #: deadlines (see :class:`repro.core.scheduler.TangramScheduler`).
     scheduler_incremental: bool = True
     scheduler_drift_margin: float = 0.05
+    #: Overflow re-pack scope: ``"queue"`` (whole queue, PR-1 behaviour)
+    #: or ``"canvas"`` (only the least-efficient canvas — fleet scale).
+    scheduler_repack_scope: str = "queue"
+    #: Answer probes from the size-class free-rectangle index instead of
+    #: the linear scan (placement decisions are identical either way).
+    scheduler_use_index: bool = True
     #: Re-pack the whole queue on every arrival through the incremental
     #: plumbing; metrics become byte-identical to ``scheduler_incremental
     #: = False`` (used for equivalence checks).
@@ -246,6 +252,8 @@ class EndToEndRunner:
                 streams=self.streams.spawn("scheduler"),
                 incremental=config.scheduler_incremental,
                 drift_margin=config.scheduler_drift_margin,
+                repack_scope=config.scheduler_repack_scope,
+                use_index=config.scheduler_use_index,
                 full_repack_equivalent=config.scheduler_full_repack_equivalent,
             )
         if config.strategy == "clipper":

@@ -53,7 +53,7 @@ def test_packing_invariants_hold(size_list):
     solver = PatchStitchingSolver()
     canvases = solver.pack(_patches(size_list))
     # validate_packing raises on overlap or out-of-bounds placements.
-    PatchStitchingSolver.validate_packing(canvases)
+    PatchStitchingSolver.validate_packing(canvases, strict=True)
 
 
 @settings(max_examples=80, deadline=None)

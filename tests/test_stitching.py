@@ -70,7 +70,7 @@ class TestPatchStitchingSolver:
     def test_packing_has_no_overlaps_and_stays_in_bounds(self, sample_patches):
         solver = PatchStitchingSolver()
         canvases = solver.pack(sample_patches)
-        PatchStitchingSolver.validate_packing(canvases)
+        PatchStitchingSolver.validate_packing(canvases, strict=True)
 
     def test_patches_are_never_resized(self, sample_patches):
         solver = PatchStitchingSolver()
@@ -102,7 +102,7 @@ class TestPatchStitchingSolver:
         oversized = [c for c in canvases if c.oversized]
         assert len(oversized) == 1
         assert oversized[0].width == 1500
-        PatchStitchingSolver.validate_packing(canvases)
+        PatchStitchingSolver.validate_packing(canvases, strict=True)
 
     def test_oversized_patch_rejected_when_disallowed(self):
         solver = PatchStitchingSolver(allow_oversized=False)
@@ -148,7 +148,7 @@ class TestPatchStitchingSolver:
 
         canvas.placements.append(Placement(patch=make_patch(60, 60), x=10, y=10))
         with pytest.raises(AssertionError):
-            PatchStitchingSolver.validate_packing([canvas])
+            PatchStitchingSolver.validate_packing([canvas], strict=True)
 
     def test_validate_packing_detects_out_of_bounds(self):
         canvas = Canvas(width=100, height=100)
@@ -156,7 +156,7 @@ class TestPatchStitchingSolver:
 
         canvas.placements.append(Placement(patch=make_patch(60, 60), x=80, y=0))
         with pytest.raises(AssertionError):
-            PatchStitchingSolver.validate_packing([canvas])
+            PatchStitchingSolver.validate_packing([canvas], strict=True)
 
     def test_high_efficiency_for_well_matched_patches(self):
         """Canvas efficiency lands in the paper's observed range (0.4-0.9)
