@@ -84,8 +84,24 @@ def main(argv=None) -> int:
         "--min-efficiency-ratio",
         type=float,
         default=0.99,
-        help="--check fails when partial-re-pack mean canvas efficiency falls "
-        "below this fraction of the batch packer's (default 0.99)",
+        help="--check fails when partial-re-pack (or skyline-stream) mean "
+        "canvas efficiency falls below this fraction of its reference "
+        "(default 0.99)",
+    )
+    parser.add_argument(
+        "--min-skyline-speedup",
+        type=float,
+        default=2.0,
+        help="--check fails when the skyline-vs-guillotine fleet re-pack "
+        "speedup at depth 4096 drops below this (default 2.0)",
+    )
+    parser.add_argument(
+        "--ratios-only",
+        action="store_true",
+        help="--check gates only the same-run derived ratios, skipping the "
+        "absolute per-section timing comparison against the committed "
+        "baseline (for shared CI runners, where cross-machine wall-clock "
+        "comparisons are noise)",
     )
     parser.add_argument(
         "--only",
@@ -147,6 +163,8 @@ def main(argv=None) -> int:
             min_speedup=args.min_speedup,
             min_index_speedup=args.min_index_speedup,
             min_efficiency_ratio=args.min_efficiency_ratio,
+            min_skyline_speedup=args.min_skyline_speedup,
+            ratios_only=args.ratios_only,
         )
         if failures:
             for failure in failures:

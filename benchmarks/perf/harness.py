@@ -28,14 +28,18 @@ SCHEMA_VERSION = 2
 ARRIVAL_QUEUE_DEPTH = 256
 
 #: Sections cheap enough for the ``--quick`` tier-1 smoke gate (see
-#: ``tests/test_perf_smoke.py``): the 256-depth workloads and the small
-#: end-to-end run; the deep-queue and fleet scenarios are full-run only.
+#: ``tests/test_perf_smoke.py``): the 256-depth workloads, the small
+#: end-to-end run, and the skyline-vs-guillotine batch-pack A/B (whose
+#: derived speedup gate is the PR-3 headline); the deep-queue arrival and
+#: fleet scenarios are full-run only.
 QUICK_SECTIONS = [
     "stitching_batch_pack_256",
     "stitching_incremental_256",
     "validate_packing_1024",
     "scheduler_arrival_full_256",
     "scheduler_arrival_fast_256",
+    "stitching_fleet_repack_guillotine_4096",
+    "stitching_fleet_repack_skyline_4096",
     "gmm_frame_loop",
     "end_to_end_small",
 ]
@@ -117,7 +121,12 @@ def _make_timed_trace(count: int, seed: int, slo: float = 2.0, spacing: float = 
     ]
 
 
-def _build_scheduler(incremental: bool, unconstrained: bool = True, **scheduler_kwargs):
+def _build_scheduler(
+    incremental: bool,
+    unconstrained: bool = True,
+    canvas_structure: str = "skyline",
+    **scheduler_kwargs,
+):
     from repro.core.latency import LatencyEstimator
     from repro.core.scheduler import TangramScheduler
     from repro.core.stitching import PatchStitchingSolver
@@ -139,7 +148,7 @@ def _build_scheduler(incremental: bool, unconstrained: bool = True, **scheduler_
     scheduler = TangramScheduler(
         simulator,
         platform,
-        solver=PatchStitchingSolver(),
+        solver=PatchStitchingSolver(canvas_structure=canvas_structure),
         estimator=estimator,
         latency_model=latency_model,
         streams=RandomStreams(6),
@@ -234,11 +243,15 @@ def bench_scheduler_arrival_fast() -> BenchResult:
     return _bench_scheduler_arrival(True, "scheduler_arrival_fast_256")
 
 
-def _bench_deep_arrival(name: str, patches, **scheduler_kwargs) -> BenchResult:
+def _bench_deep_arrival(
+    name: str, patches, canvas_structure: str = "skyline", **scheduler_kwargs
+) -> BenchResult:
     """Deep-queue arrival microbenchmark: push every patch through
     ``receive_patch`` with a huge SLO and unconstrained memory so the
     queue only grows, and time the arrival path alone."""
-    simulator, scheduler = _build_scheduler(True, **scheduler_kwargs)
+    simulator, scheduler = _build_scheduler(
+        True, canvas_structure=canvas_structure, **scheduler_kwargs
+    )
     start = time.perf_counter()
     for patch in patches:
         scheduler.receive_patch(patch)
@@ -246,6 +259,7 @@ def _bench_deep_arrival(name: str, patches, **scheduler_kwargs) -> BenchResult:
     meta: Dict[str, object] = {
         "queue_depth": len(patches),
         "pending_canvases": scheduler.pending_canvases,
+        "canvas_structure": canvas_structure,
         "scheduler_kwargs": {
             key: value
             if not isinstance(value, float) or math.isfinite(value)
@@ -262,8 +276,16 @@ def _bench_deep_arrival(name: str, patches, **scheduler_kwargs) -> BenchResult:
 
 #: The probe-isolation pairs run with drift re-packs disabled so the two
 #: arms make identical, re-pack-free placement decisions and the timing
-#: difference is purely linear scan vs size-class index.
-_PROBE_ONLY = {"repack_scope": "canvas", "drift_margin": float("inf")}
+#: difference is purely linear scan vs size-class index.  They stay pinned
+#: to guillotine canvases: that is the structure the PR-2 index ratio was
+#: defined on, and the skyline's own O(log n) per-canvas fast-reject makes
+#: the linear arm fast enough that the pair would measure the structure,
+#: not the index (the skyline-vs-guillotine A/B has its own sections).
+_PROBE_ONLY = {
+    "repack_scope": "canvas",
+    "drift_margin": float("inf"),
+    "canvas_structure": "guillotine",
+}
 
 
 def bench_probe_linear_1024() -> BenchResult:
@@ -303,25 +325,76 @@ def bench_probe_indexed_4096() -> BenchResult:
 
 
 def bench_arrival_pr1_4096() -> BenchResult:
-    """The PR-1 arrival path at queue depth 4096: linear probe scan plus
-    whole-queue re-packs on wasteful overflow (the old scaling wall)."""
+    """The PR-1 arrival path at queue depth 4096: linear probe scan,
+    whole-queue re-packs on wasteful overflow, guillotine canvases —
+    all three PR-1 defaults (the old scaling wall)."""
     return _bench_deep_arrival(
         "scheduler_arrival_pr1_4096",
         _make_patches(4096, seed=19),
         use_index=False,
         repack_scope="queue",
+        canvas_structure="guillotine",
     )
 
 
 def bench_arrival_fleet_4096() -> BenchResult:
-    """The fleet-scale arrival path at the same depth: size-class index
-    plus budget-bounded partial re-packs."""
+    """The fleet-scale arrival path at the same depth: size-class index,
+    budget-bounded partial re-packs, skyline canvases."""
     return _bench_deep_arrival(
         "scheduler_arrival_fleet_4096",
         _make_patches(4096, seed=19),
         use_index=True,
         repack_scope="canvas",
     )
+
+
+def bench_arrival_fleet_guillotine_4096() -> BenchResult:
+    """The fleet configuration on guillotine canvases (the PR-2 state):
+    the structure arm of the arrival-path A/B."""
+    return _bench_deep_arrival(
+        "scheduler_arrival_fleet_guillotine_4096",
+        _make_patches(4096, seed=19),
+        use_index=True,
+        repack_scope="canvas",
+        canvas_structure="guillotine",
+    )
+
+
+def _bench_fleet_repack(structure: str, name: str) -> BenchResult:
+    """One batch ``pack()`` of the 4096-patch fleet queue — the unit of
+    work every full re-pack (and ``IncrementalStitcher.reset``) pays.
+    The skyline/guillotine pair isolates the free-space structure: same
+    patches, same first-fit-decreasing loop, different ``Canvas``
+    internals."""
+    from repro.core.stitching import PatchStitchingSolver
+
+    patches = _make_patches(4096, seed=19)
+    solver = PatchStitchingSolver(canvas_structure=structure)
+    start = time.perf_counter()
+    canvases = solver.pack(patches)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        name,
+        elapsed,
+        {
+            "patches": len(patches),
+            "canvases": len(canvases),
+            "canvas_structure": structure,
+            "mean_canvas_efficiency": round(
+                PatchStitchingSolver.mean_efficiency(canvases), 4
+            ),
+        },
+    )
+
+
+def bench_fleet_repack_guillotine() -> BenchResult:
+    return _bench_fleet_repack(
+        "guillotine", "stitching_fleet_repack_guillotine_4096"
+    )
+
+
+def bench_fleet_repack_skyline() -> BenchResult:
+    return _bench_fleet_repack("skyline", "stitching_fleet_repack_skyline_4096")
 
 
 def bench_arrival_heavytail_1024() -> BenchResult:
@@ -336,7 +409,9 @@ def bench_arrival_heavytail_1024() -> BenchResult:
     )
 
 
-def _bench_scheduler_stream(name: str, **scheduler_kwargs) -> BenchResult:
+def _bench_scheduler_stream(
+    name: str, canvas_structure: str = "skyline", **scheduler_kwargs
+) -> BenchResult:
     """A realistic 2048-patch stream (timed arrivals, 2 s SLO, a larger
     GPU instance so queues run ~100 patches deep) through the scheduler:
     queues flush at invocations, so this measures the packing quality
@@ -347,7 +422,11 @@ def _bench_scheduler_stream(name: str, **scheduler_kwargs) -> BenchResult:
     small-queue whole-queue re-pack."""
     patches = _make_timed_trace(2048, seed=31)
     simulator, scheduler = _build_scheduler(
-        True, unconstrained=False, gpu_memory_gb=60.0, **scheduler_kwargs
+        True,
+        unconstrained=False,
+        gpu_memory_gb=60.0,
+        canvas_structure=canvas_structure,
+        **scheduler_kwargs,
     )
     for patch in patches:
         simulator.schedule_at(
@@ -371,6 +450,7 @@ def _bench_scheduler_stream(name: str, **scheduler_kwargs) -> BenchResult:
         {
             "patches": len(patches),
             "batches": len(scheduler.completed_batches),
+            "canvas_structure": canvas_structure,
             "mean_canvas_efficiency": round(mean_efficiency, 4),
             "packing_stats": scheduler.packing_stats,
         },
@@ -389,6 +469,16 @@ def bench_stream_partial_repack_2048() -> BenchResult:
     """The same stream under canvas-scope (partial) re-packs."""
     return _bench_scheduler_stream(
         "scheduler_stream_partial_2048", repack_scope="canvas"
+    )
+
+
+def bench_stream_partial_guillotine_2048() -> BenchResult:
+    """The canvas-scope stream on guillotine canvases: the structure arm
+    of the stream-efficiency A/B (gated at >= 0.99 by ``--check``)."""
+    return _bench_scheduler_stream(
+        "scheduler_stream_partial_guillotine_2048",
+        canvas_structure="guillotine",
+        repack_scope="canvas",
     )
 
 
@@ -494,9 +584,13 @@ SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "scheduler_arrival_probe_indexed_4096": bench_probe_indexed_4096,
     "scheduler_arrival_pr1_4096": bench_arrival_pr1_4096,
     "scheduler_arrival_fleet_4096": bench_arrival_fleet_4096,
+    "scheduler_arrival_fleet_guillotine_4096": bench_arrival_fleet_guillotine_4096,
+    "stitching_fleet_repack_guillotine_4096": bench_fleet_repack_guillotine,
+    "stitching_fleet_repack_skyline_4096": bench_fleet_repack_skyline,
     "scheduler_arrival_heavytail_1024": bench_arrival_heavytail_1024,
     "scheduler_stream_batchpack_2048": bench_stream_batch_packer_2048,
     "scheduler_stream_partial_2048": bench_stream_partial_repack_2048,
+    "scheduler_stream_partial_guillotine_2048": bench_stream_partial_guillotine_2048,
     "gmm_frame_loop": bench_gmm_frame_loop,
     "end_to_end_small": bench_end_to_end,
     "end_to_end_fleet_64": bench_end_to_end_fleet,
@@ -563,6 +657,12 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
     fleet = _ratio("scheduler_arrival_pr1_4096", "scheduler_arrival_fleet_4096")
     if fleet is not None:
         derived["arrival_fleet_speedup_4096"] = fleet
+    skyline_pack = _ratio(
+        "stitching_fleet_repack_guillotine_4096",
+        "stitching_fleet_repack_skyline_4096",
+    )
+    if skyline_pack is not None:
+        derived["skyline_pack_speedup_4096"] = skyline_pack
     batch = sections.get("scheduler_stream_batchpack_2048")
     partial = sections.get("scheduler_stream_partial_2048")
     if batch and partial:
@@ -571,6 +671,16 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
         if batch_eff > 0:
             derived["partial_repack_efficiency_ratio"] = round(
                 partial_eff / batch_eff, 4
+            )
+    guillotine_stream = sections.get("scheduler_stream_partial_guillotine_2048")
+    if partial and guillotine_stream:
+        skyline_eff = float(partial["meta"].get("mean_canvas_efficiency", 0.0))
+        guillotine_eff = float(
+            guillotine_stream["meta"].get("mean_canvas_efficiency", 0.0)
+        )
+        if guillotine_eff > 0:
+            derived["skyline_stream_efficiency_ratio"] = round(
+                skyline_eff / guillotine_eff, 4
             )
     return derived
 
@@ -592,6 +702,8 @@ def check_against_baseline(
     min_speedup: float = 5.0,
     min_index_speedup: float = 3.0,
     min_efficiency_ratio: float = 0.99,
+    min_skyline_speedup: float = 2.0,
+    ratios_only: bool = False,
 ) -> List[str]:
     """Compare a fresh report against the committed baseline.
 
@@ -601,27 +713,35 @@ def check_against_baseline(
     ignored (workloads evolve, the baseline is updated alongside).
     Derived-ratio gates only apply when the contributing sections ran,
     so partial runs (``--quick``, ``--only``) skip them cleanly.
+
+    ``ratios_only=True`` skips the absolute per-section timing
+    comparison and keeps only the same-run derived-ratio gates — the
+    mode for shared CI runners, where wall-clock comparisons against a
+    baseline produced on a different machine are noise.
     """
     failures: List[str] = []
-    base_sections = baseline.get("sections", {})
-    new_sections = report.get("sections", {})
-    for name, base_entry in base_sections.items():
-        new_entry = new_sections.get(name)
-        if new_entry is None:
-            continue
-        base_seconds = float(base_entry["seconds"])
-        new_seconds = float(new_entry["seconds"])
-        if base_seconds > 0 and new_seconds > max_regression * base_seconds:
-            failures.append(
-                f"{name}: {new_seconds:.4f}s is more than {max_regression:.1f}x "
-                f"the baseline {base_seconds:.4f}s"
-            )
+    if not ratios_only:
+        base_sections = baseline.get("sections", {})
+        new_sections = report.get("sections", {})
+        for name, base_entry in base_sections.items():
+            new_entry = new_sections.get(name)
+            if new_entry is None:
+                continue
+            base_seconds = float(base_entry["seconds"])
+            new_seconds = float(new_entry["seconds"])
+            if base_seconds > 0 and new_seconds > max_regression * base_seconds:
+                failures.append(
+                    f"{name}: {new_seconds:.4f}s is more than {max_regression:.1f}x "
+                    f"the baseline {base_seconds:.4f}s"
+                )
     derived = report.get("derived", {})
     gates = [
         ("scheduler_arrival_speedup", min_speedup, "x"),
         ("probe_index_speedup_4096", min_index_speedup, "x"),
         ("arrival_fleet_speedup_4096", min_index_speedup, "x"),
         ("partial_repack_efficiency_ratio", min_efficiency_ratio, ""),
+        ("skyline_pack_speedup_4096", min_skyline_speedup, "x"),
+        ("skyline_stream_efficiency_ratio", min_efficiency_ratio, ""),
     ]
     for key, minimum, unit in gates:
         value = derived.get(key)

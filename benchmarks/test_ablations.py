@@ -15,7 +15,6 @@ individual design decisions:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.core.latency import LatencyEstimator

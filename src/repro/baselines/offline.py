@@ -18,7 +18,6 @@ from repro.network.encoding import FrameEncoder
 from repro.serverless.cost import AlibabaCostModel
 from repro.simulation.random_streams import RandomStreams
 from repro.video.frames import Frame
-from repro.video.geometry import Box
 from repro.video.scenes import get_scene
 from repro.vision.detector import DetectorLatencyModel
 from repro.vision.roi_extractors import AnalyticRoIExtractor, make_extractor

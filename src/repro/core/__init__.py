@@ -7,6 +7,10 @@
 * :mod:`repro.core.stitching` -- Algorithm 2 (lines 24-39), the
   patch-stitching solver that packs variable-size patches onto fixed-size
   canvases without resizing, padding, rotation or overlap.
+* :mod:`repro.core.skyline` -- the skyline free-space structure (occupied
+  silhouette as x-sorted segments plus recycled waste rectangles) the
+  solver's canvases use by default; ``canvas_structure="guillotine"``
+  selects the classic free-rectangle list instead.
 * :mod:`repro.core.freerect_index` -- the size-class-bucketed index over
   all live free rectangles that keeps the incremental probe sub-linear in
   the number of pending canvases.
@@ -21,7 +25,9 @@
 from repro.core.patches import Patch
 from repro.core.partitioning import FramePartitioner, partition_rois
 from repro.core.freerect_index import FreeRectIndex
+from repro.core.skyline import FreeRect, Skyline
 from repro.core.stitching import (
+    CANVAS_STRUCTURES,
     Canvas,
     IncrementalStitcher,
     Placement,
@@ -36,8 +42,11 @@ __all__ = [
     "Patch",
     "FramePartitioner",
     "partition_rois",
+    "CANVAS_STRUCTURES",
     "Canvas",
+    "FreeRect",
     "FreeRectIndex",
+    "Skyline",
     "IncrementalStitcher",
     "Placement",
     "PlacementPlan",

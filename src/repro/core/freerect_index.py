@@ -19,7 +19,11 @@ Correctness contract (pinned by ``tests/test_freerect_index.py``): the
 index returns **exactly** the rectangle the linear scan would have picked —
 the lexicographic minimum of ``(score, canvas_index, rect_index)`` over all
 fitting rectangles — so every placement decision is byte-identical to the
-un-indexed BSSF.
+un-indexed BSSF.  The index is structure-agnostic: it reads whatever
+``canvas.free_rectangles`` currently exposes, which is the guillotine pool
+or the skyline's derived candidate list (surface candidates plus waste
+rectangles, see :mod:`repro.core.skyline`) — both share the ``rect_index``
+addressing and the BSSF score, so the pin holds for either structure.
 
 Invalidation is *lazy*: mutating a canvas (placing a patch splits/merges
 its pool) bumps that canvas's version and re-inserts its current
@@ -131,9 +135,19 @@ class FreeRectIndex:
         version = self._versions[canvas_index]
         buckets = self._buckets
         count = 0
-        for rect_index, rect in enumerate(canvas.free_rectangles):
-            key = (size_class(rect.width), size_class(rect.height))
-            entry = (canvas_index, rect_index, rect.width, rect.height, version)
+        skyline = canvas.skyline
+        if skyline is not None:
+            # Skyline canvases expose their candidates as plain tuples in
+            # the same ``rect_index`` order as ``free_rectangles`` —
+            # indexing them directly skips materialising the object list.
+            sizes = [(cand[2], cand[3]) for cand in skyline.candidates]
+        else:
+            sizes = [
+                (rect.width, rect.height) for rect in canvas.free_rectangles
+            ]
+        for rect_index, (rect_w, rect_h) in enumerate(sizes):
+            key = (size_class(rect_w), size_class(rect_h))
+            entry = (canvas_index, rect_index, rect_w, rect_h, version)
             bucket = buckets.get(key)
             if bucket is None:
                 buckets[key] = [entry]

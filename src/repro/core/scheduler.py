@@ -220,6 +220,11 @@ class TangramScheduler(BaseScheduler):
         queue on every arrival, so every scheduling decision — and therefore
         every :class:`BatchRecord` metric — is byte-identical to
         ``incremental=False``.  Used by the equivalence regression tests.
+    canvas_structure:
+        Free-space structure of the canvases (``"skyline"``, the default,
+        or ``"guillotine"`` — see :class:`~repro.core.skyline.Skyline`).
+        Applies when the scheduler builds its own solver; a ``solver``
+        passed in brings its own ``canvas_structure`` and wins.
     """
 
     def __init__(
@@ -240,12 +245,15 @@ class TangramScheduler(BaseScheduler):
         max_partial_victims: int = 8,
         partial_patch_budget: int = 48,
         full_repack_equivalent: bool = False,
+        canvas_structure: str = "skyline",
     ) -> None:
         latency_model = latency_model or DetectorLatencyModel.serverless()
         super().__init__(
             simulator, platform, latency_model, streams=streams, name="tangram"
         )
-        self.solver = solver or PatchStitchingSolver()
+        self.solver = solver or PatchStitchingSolver(
+            canvas_structure=canvas_structure
+        )
         self.estimator = estimator or LatencyEstimator(
             latency_model=latency_model,
             canvas_width=self.solver.canvas_width,

@@ -1,16 +1,24 @@
 """Algorithm 2 (lines 24-39): the patch-stitching solver.
 
 Patches of heterogeneous sizes are packed onto fixed-size canvases so a
-batch of canvases can be fed to the DNN as a uniform tensor.  The solver is
-a best-short-side-fit guillotine packer, exactly as the pseudo-code
-describes:
+batch of canvases can be fed to the DNN as a uniform tensor.  The solver
+is a best-short-side-fit packer, exactly as the pseudo-code describes:
 
 * among the free rectangles that can hold the patch, pick the one whose
   smaller leftover side ``min(w_c - w_i, h_c - h_i)`` is smallest;
 * place the patch at the bottom-left corner of that free rectangle;
-* split the remaining space into two non-overlapping rectangles along the
-  *shorter* leftover axis;
+* account the remaining space as new free rectangles;
 * if no free rectangle fits, open a new blank canvas.
+
+Two interchangeable free-space structures implement that contract, chosen
+by the ``canvas_structure`` knob (on the solver, the scheduler, and both
+experiment configs): ``"skyline"`` (default — the canvas silhouette as
+x-sorted segments plus recycled waste rectangles, see
+:mod:`repro.core.skyline`) and ``"guillotine"`` (the classic list of
+disjoint free rectangles split along the shorter leftover axis).  The
+skyline's exact O(log n) per-canvas fitness bisect makes deep re-packs
+several times faster; packing metrics stay within 1% of guillotine
+(``tests/test_skyline.py``, ``benchmarks/perf``).
 
 Patches are never resized, padded, rotated, or overlapped -- that is the
 point of the design (resizing costs accuracy, padding costs compute).
@@ -18,12 +26,18 @@ point of the design (resizing costs accuracy, padding costs compute).
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.patches import Patch
+from repro.core.skyline import Skyline
 from repro.video.geometry import Box
+
+#: Valid values of the ``canvas_structure`` knob (solver/scheduler/configs).
+CANVAS_STRUCTURES = ("skyline", "guillotine")
 
 
 @dataclass(frozen=True)
@@ -40,37 +54,132 @@ class Placement:
         return Box(self.x, self.y, self.patch.width, self.patch.height)
 
 
-@dataclass
 class Canvas:
     """A fixed-size canvas being filled with patches.
 
-    ``free_rectangles`` is the guillotine free-space list; it always
-    partitions the unused canvas area into disjoint rectangles.
+    ``structure`` selects the free-space bookkeeping:
+
+    * ``"guillotine"`` (the constructor default, PR-2 behaviour):
+      ``free_rectangles`` is the guillotine free-space list; it always
+      partitions the unused canvas area into disjoint rectangles.
+    * ``"skyline"`` (what :class:`PatchStitchingSolver` builds by
+      default): free space lives in a :class:`~repro.core.skyline.
+      Skyline` — the occupied silhouette as x-sorted segments plus
+      recycled waste rectangles — and ``free_rectangles`` is the derived
+      candidate list, materialised lazily from the skyline's tuples when
+      someone actually reads it (the hot paths scan the tuples
+      directly).  Consumers are oblivious: ``best_fit``/``place`` use
+      the same ``rect_index`` addressing and the same
+      best-short-side-fit scores either way.
     """
 
-    width: float
-    height: float
-    canvas_id: int = 0
-    #: When true, this canvas was opened specially for a patch larger than
-    #: the configured canvas size (the partitioner can produce such patches
-    #: at coarse granularities); it is sized to that patch.
-    oversized: bool = False
-    placements: List[Placement] = field(default_factory=list)
-    free_rectangles: List[Box] = field(default_factory=list)
-    #: Cached sum of placed patch areas, maintained by :meth:`place` so the
-    #: scheduler's hot path never recomputes ``sum(...)`` over placements.
-    #: ``_used_count`` detects out-of-band mutation of ``placements`` (the
-    #: corruption tests do this) and triggers a recompute.
-    _used_area: float = field(default=0.0, repr=False, compare=False)
-    _used_count: int = field(default=0, repr=False, compare=False)
+    __slots__ = (
+        "width",
+        "height",
+        "canvas_id",
+        "oversized",
+        "placements",
+        "structure",
+        "skyline",
+        "_free_rectangles",
+        "_free_stale",
+        "_used_area",
+        "_used_count",
+    )
 
-    def __post_init__(self) -> None:
-        if self.width <= 0 or self.height <= 0:
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        canvas_id: int = 0,
+        oversized: bool = False,
+        placements: Optional[List[Placement]] = None,
+        free_rectangles: Optional[List[Box]] = None,
+        structure: str = "guillotine",
+    ) -> None:
+        if width <= 0 or height <= 0:
             raise ValueError("canvas dimensions must be positive")
-        if not self.free_rectangles and not self.placements:
-            self.free_rectangles = [Box(0.0, 0.0, self.width, self.height)]
+        if structure not in CANVAS_STRUCTURES:
+            raise ValueError(
+                f"structure must be one of {CANVAS_STRUCTURES}, "
+                f"got {structure!r}"
+            )
+        self.width = width
+        self.height = height
+        self.canvas_id = canvas_id
+        #: When true, this canvas was opened specially for a patch larger
+        #: than the configured canvas size (the partitioner can produce
+        #: such patches at coarse granularities); it is sized to that patch.
+        self.oversized = oversized
+        self.placements: List[Placement] = (
+            list(placements) if placements is not None else []
+        )
+        #: Free-space structure: ``"guillotine"`` or ``"skyline"``.
+        self.structure = structure
+        #: The skyline state when ``structure == "skyline"`` (``None`` for
+        #: guillotine canvases) — also the packers' fast-reject handle.
+        self.skyline: Optional[Skyline] = None
+        #: Cached sum of placed patch areas, maintained by :meth:`place` so
+        #: the scheduler's hot path never recomputes ``sum(...)`` over
+        #: placements.  ``_used_count`` detects out-of-band mutation of
+        #: ``placements`` (the corruption tests do this) and triggers a
+        #: recompute.
+        self._used_area = 0.0
+        self._used_count = 0
+        if structure == "skyline":
+            if self.placements or free_rectangles:
+                raise ValueError(
+                    "skyline canvases must be constructed empty; "
+                    "place patches through place()/try_place()"
+                )
+            self.skyline = Skyline(width, height)
+            self._free_rectangles: List[Box] = []
+            self._free_stale = True
+            return
+        self._free_stale = False
+        if free_rectangles is not None:
+            self._free_rectangles = free_rectangles
+        elif not self.placements:
+            self._free_rectangles = [Box(0.0, 0.0, width, height)]
+        else:
+            self._free_rectangles = []
         if self.placements:
             self._refresh_used_area()
+
+    def __repr__(self) -> str:
+        return (
+            f"Canvas(width={self.width!r}, height={self.height!r}, "
+            f"canvas_id={self.canvas_id!r}, oversized={self.oversized!r}, "
+            f"structure={self.structure!r}, num_patches={self.num_patches})"
+        )
+
+    @property
+    def free_rectangles(self) -> List[Box]:
+        """The free-space list the packers scan, in ``rect_index`` order.
+
+        Guillotine canvases store it directly; skyline canvases
+        materialise it from :attr:`Skyline.candidates` on first read
+        after a mutation (the scheduler's hot paths never read it — they
+        scan the skyline's tuples — so the object list is only built for
+        the index-free consumers and the test suite).
+        """
+        if self._free_stale:
+            assert self.skyline is not None
+            self._free_rectangles = self.skyline.free_rects()
+            self._free_stale = False
+        return self._free_rectangles
+
+    @free_rectangles.setter
+    def free_rectangles(self, rects: List[Box]) -> None:
+        if self.skyline is not None:
+            # The skyline is the source of truth; accepting the write would
+            # leave reads contradicting every placement decision.
+            raise ValueError(
+                "skyline canvases derive free space from the skyline; "
+                "free_rectangles cannot be assigned"
+            )
+        self._free_rectangles = rects
+        self._free_stale = False
 
     # ---------------------------------------------------------------- metrics
     @property
@@ -130,7 +239,16 @@ class Canvas:
     def best_fit(self, patch: Patch) -> Optional[Tuple[int, float]]:
         """Best-short-side-fit ``(rect_index, score)`` for ``patch``, or
         ``None`` when no free rectangle fits.  Lower scores are better;
-        the incremental packer compares scores across canvases."""
+        the incremental packer compares scores across canvases.
+
+        Skyline canvases answer through :meth:`Skyline.best_fit` — the
+        same scan over the same ``free_rectangles`` order, behind an
+        exact O(log n) fast-reject — so scores, indices, and tie-breaks
+        are identical to scanning ``free_rectangles`` directly (the
+        size-class index's exactness pin relies on this).
+        """
+        if self.skyline is not None:
+            return self.skyline.best_fit(patch.width, patch.height)
         best_index = -1
         best_score = float("inf")
         patch_w = patch.width
@@ -151,8 +269,21 @@ class Canvas:
         return None if fit is None else fit[0]
 
     def place(self, patch: Patch, rect_index: int) -> Placement:
-        """Place ``patch`` in free rectangle ``rect_index`` and split the
-        leftover space along the shorter axis (guillotine split)."""
+        """Place ``patch`` in free rectangle ``rect_index``.
+
+        Guillotine canvases split the leftover space along the shorter
+        axis (guillotine split); skyline canvases raise the silhouette
+        over the patch footprint (or split a waste rectangle) and
+        regenerate the candidate list.
+        """
+        if self.skyline is not None:
+            x, y = self.skyline.place(rect_index, patch.width, patch.height)
+            placement = Placement(patch=patch, x=x, y=y)
+            self.placements.append(placement)
+            self._used_area += patch.area
+            self._used_count += 1
+            self._free_stale = True
+            return placement
         rect = self.free_rectangles.pop(rect_index)
         if rect.width < patch.width or rect.height < patch.height:
             raise ValueError("patch does not fit in the chosen free rectangle")
@@ -223,6 +354,16 @@ class PatchStitchingSolver:
         When a patch exceeds the canvas dimensions, open a dedicated canvas
         of exactly the patch's size instead of failing.  Coarse partition
         granularities (2 x 2 on a 4K frame) can produce such patches.
+    canvas_structure:
+        Free-space structure of the canvases this solver opens:
+        ``"skyline"`` (default — silhouette segments plus recycled waste
+        rectangles, see :mod:`repro.core.skyline`) or ``"guillotine"``
+        (the PR-2 free-rectangle list with containment pruning).  The
+        skyline's exact O(log n) per-canvas fitness test turns the
+        first-fit scan over full canvases into a bisect, which is where
+        the batch packer's depth-4096 speedup comes from; packing
+        metrics stay within 1% of guillotine (pinned by
+        ``tests/test_skyline.py`` and the benchmark A/B).
     """
 
     def __init__(
@@ -231,13 +372,20 @@ class PatchStitchingSolver:
         canvas_height: float = 1024.0,
         sort_patches: bool = True,
         allow_oversized: bool = True,
+        canvas_structure: str = "skyline",
     ) -> None:
         if canvas_width <= 0 or canvas_height <= 0:
             raise ValueError("canvas dimensions must be positive")
+        if canvas_structure not in CANVAS_STRUCTURES:
+            raise ValueError(
+                f"canvas_structure must be one of {CANVAS_STRUCTURES}, "
+                f"got {canvas_structure!r}"
+            )
         self.canvas_width = canvas_width
         self.canvas_height = canvas_height
         self.sort_patches = sort_patches
         self.allow_oversized = allow_oversized
+        self.canvas_structure = canvas_structure
 
     @property
     def canvas_area(self) -> float:
@@ -250,25 +398,59 @@ class PatchStitchingSolver:
         same packing, which the online scheduler relies on when it re-packs
         after every arrival.
         """
+        result = self._pack(patches)
+        assert result is not None
+        return result
+
+    def pack_within(
+        self, patches: Sequence[Patch], max_canvases: int
+    ) -> Optional[List[Canvas]]:
+        """Like :meth:`pack`, but give up as soon as the packing would need
+        more than ``max_canvases`` canvases and return ``None``.
+
+        The partial re-pack planner only adopts a trial re-pack that
+        *consolidates* (needs at most as many canvases as it dissolves),
+        so a trial that overflows the victim count is dead on arrival —
+        aborting it at the moment the ``max_canvases + 1``-th canvas
+        would open skips the rest of the doomed pack.  Decisions are
+        identical to packing fully and rejecting afterwards.
+        """
+        return self._pack(patches, max_canvases=max_canvases)
+
+    def _pack(
+        self, patches: Sequence[Patch], max_canvases: Optional[int] = None
+    ) -> Optional[List[Canvas]]:
         ordered = list(patches)
         if self.sort_patches:
             ordered.sort(key=lambda patch: patch.area, reverse=True)
 
+        structure = self.canvas_structure
         canvases: List[Canvas] = []
+        #: Skyline packing keeps the open (non-oversized) canvases' fitness
+        #: profiles in parallel lists so the first-fit loop can reject a
+        #: full canvas with one bisect and two list indexings — no method
+        #: call, no scan.  ``skylines``/``profiles`` track ``open_list``.
+        open_list: List[Canvas] = []
+        skylines: List[Skyline] = []
         next_id = 0
         for patch in ordered:
             if not patch.fits_on(self.canvas_width, self.canvas_height):
                 if not self.allow_oversized:
                     raise ValueError(
                         f"patch {patch.patch_id} ({patch.width:.0f}x{patch.height:.0f}) "
-                        f"exceeds the canvas size "
+                        "exceeds the canvas size "
                         f"{self.canvas_width:.0f}x{self.canvas_height:.0f}"
                     )
+                if max_canvases is not None and len(canvases) >= max_canvases:
+                    # A dedicated oversized canvas would breach the cap just
+                    # like a regular one (pack-then-reject counts both).
+                    return None
                 oversized = Canvas(
                     width=patch.width,
                     height=patch.height,
                     canvas_id=next_id,
                     oversized=True,
+                    structure=structure,
                 )
                 next_id += 1
                 oversized.try_place(patch)
@@ -276,22 +458,40 @@ class PatchStitchingSolver:
                 continue
 
             placed = False
-            for canvas in canvases:
-                if canvas.oversized:
-                    continue
-                if canvas.try_place(patch) is not None:
+            if structure == "skyline":
+                patch_w = patch.width
+                patch_h = patch.height
+                for index, sky in enumerate(skylines):
+                    heights = sky.fit_heights
+                    cut = bisect_left(heights, patch_h)
+                    if cut == len(heights) or sky.fit_maxw[cut] < patch_w:
+                        continue
+                    fit = sky.best_fit(patch_w, patch_h)
+                    assert fit is not None  # the profile test is exact
+                    open_list[index].place(patch, fit[0])
                     placed = True
                     break
+            else:
+                for canvas in open_list:
+                    if canvas.try_place(patch) is not None:
+                        placed = True
+                        break
             if not placed:
+                if max_canvases is not None and len(canvases) >= max_canvases:
+                    return None
                 canvas = Canvas(
                     width=self.canvas_width,
                     height=self.canvas_height,
                     canvas_id=next_id,
+                    structure=structure,
                 )
                 next_id += 1
                 if canvas.try_place(patch) is None:  # pragma: no cover - cannot happen
                     raise RuntimeError("fresh canvas failed to accept a fitting patch")
                 canvases.append(canvas)
+                open_list.append(canvas)
+                if canvas.skyline is not None:
+                    skylines.append(canvas.skyline)
         return canvases
 
     # ------------------------------------------------------------- statistics
@@ -415,7 +615,8 @@ class IncrementalStitcher:
     The batch :class:`PatchStitchingSolver` re-packs the whole queue on
     every arrival, which makes the online scheduler's hot path
     O(n * canvases * free-rects) per patch.  This class instead keeps the
-    canvases and their guillotine free-rectangle pools alive and places each
+    canvases and their free-space pools (skyline or guillotine, per the
+    solver's ``canvas_structure``) alive and places each
     new patch with a *global* best-short-side-fit over all live pools.
     With the default size-class index
     (:class:`~repro.core.freerect_index.FreeRectIndex`) a probe only scans
@@ -539,6 +740,16 @@ class IncrementalStitcher:
         }
         self._patches: List[Patch] = []
         self._canvases: List[Canvas] = []
+        #: Running min-heap of ``(efficiency, canvas_index, stamp)`` over
+        #: the live non-oversized canvases, so ``_plan_partial_repack``
+        #: pops its victims in ascending-efficiency order instead of
+        #: rescanning every canvas per overflow (the ROADMAP's second
+        #: named bottleneck).  Entries are invalidated lazily: a slot
+        #: mutation bumps ``_eff_stamp[slot]`` and pushes a fresh entry;
+        #: stale entries are dropped when popped.  Slot deletions shift
+        #: later indices and force a rebuild, exactly like the index.
+        self._eff_heap: List[Tuple[float, int, int]] = []
+        self._eff_stamp: List[int] = []
         if self._index is not None:
             # Attach the (identity-stable) canvas list now: compaction
             # re-walks it, and every later mutation is either in place or
@@ -601,7 +812,7 @@ class IncrementalStitcher:
             if not solver.allow_oversized:
                 raise ValueError(
                     f"patch {patch.patch_id} ({patch.width:.0f}x{patch.height:.0f}) "
-                    f"exceeds the canvas size "
+                    "exceeds the canvas size "
                     f"{solver.canvas_width:.0f}x{solver.canvas_height:.0f}"
                 )
             extra = int(math.ceil(patch.area / self.equivalent_canvas_pixels))
@@ -710,38 +921,50 @@ class IncrementalStitcher:
         (caller falls back to opening a new canvas) — so a partial re-pack
         never leaves the packing with more canvases — hence never lower
         mean canvas efficiency — than not re-packing at all.
+
+        Victims come off the running efficiency min-heap in ascending
+        ``(efficiency, canvas_index)`` order — the same order the former
+        per-overflow rescan-and-sort produced (pinned by
+        ``tests/test_skyline.py``) at O(victims log canvases) instead of
+        O(canvases log canvases) per overflow.  Stale heap entries are
+        dropped for good; valid ones popped here are pushed back before
+        returning, because a probe must not consume state.
         """
-        candidates = [
-            (canvas.efficiency, canvas_index)
-            for canvas_index, canvas in enumerate(self._canvases)
-            if not canvas.oversized
-        ]
-        if not candidates:
-            return None
-        candidates.sort()
+        heap = self._eff_heap
+        stamps = self._eff_stamp
         canvas_area = self.solver.canvas_area
         pool: List[Patch] = [patch]
         pool_used = 0.0
         victim_indices: List[int] = []
-        for _, canvas_index in candidates:
-            if len(victim_indices) >= self.max_partial_victims:
+        popped: List[Tuple[float, int, int]] = []
+        while heap and len(victim_indices) < self.max_partial_victims:
+            if len(pool) >= self.partial_patch_budget:
+                # Every canvas holds at least one patch, so no remaining
+                # candidate can fit the budget — same decisions as
+                # scanning on, minus the scan.
                 break
-            canvas = self._canvases[canvas_index]
+            entry = heapq.heappop(heap)
+            if entry[2] != stamps[entry[1]]:
+                continue  # stale: the slot mutated after this was pushed
+            popped.append(entry)
+            canvas = self._canvases[entry[1]]
             if len(pool) + canvas.num_patches > self.partial_patch_budget:
                 # This victim alone would blow the budget, but a later,
                 # sparser candidate may still fit it.
                 continue
             pool.extend(canvas.patches)
             pool_used += canvas.used_area
-            victim_indices.append(canvas_index)
+            victim_indices.append(entry[1])
+        for entry in popped:
+            heapq.heappush(heap, entry)
         if not victim_indices:
             return None
         # Necessary condition for consolidation: the victims' combined
         # free space must at least hold the incoming patch.
         if len(victim_indices) * canvas_area - pool_used < patch.area:
             return None
-        repacked = self.solver.pack(pool)
-        if len(repacked) > len(victim_indices):
+        repacked = self.solver.pack_within(pool, len(victim_indices))
+        if repacked is None:
             return None
         delta = len(repacked) - len(victim_indices)
         return PlacementPlan(
@@ -805,6 +1028,11 @@ class IncrementalStitcher:
             self._active_used += patch.area
             self._equivalent = plan.equivalent_after
             self.stats["partial_repacks"] += 1
+            if removed:
+                self._rebuild_efficiency_heap()
+            else:
+                for slot in reused:
+                    self._touch_canvas_efficiency(slot)
             if self._index is not None:
                 if removed:
                     self._index.rebuild(self._canvases)
@@ -818,12 +1046,14 @@ class IncrementalStitcher:
                 height=patch.height,
                 canvas_id=self._next_id,
                 oversized=True,
+                structure=self.solver.canvas_structure,
             )
             self._next_id += 1
             canvas.try_place(patch)
             self._canvases.append(canvas)
             self._equivalent = plan.equivalent_after
             self.stats["oversized_canvases"] += 1
+            self._touch_canvas_efficiency(len(self._canvases) - 1)
             if self._index is not None:
                 self._index.reindex_canvas(len(self._canvases) - 1, canvas)
             return self._canvases
@@ -832,6 +1062,7 @@ class IncrementalStitcher:
                 width=self.solver.canvas_width,
                 height=self.solver.canvas_height,
                 canvas_id=self._next_id,
+                structure=self.solver.canvas_structure,
             )
             self._next_id += 1
             if canvas.try_place(patch) is None:  # pragma: no cover - cannot happen
@@ -841,6 +1072,7 @@ class IncrementalStitcher:
             self._active_count += 1
             self._active_used += patch.area
             self.stats["new_canvases"] += 1
+            self._touch_canvas_efficiency(len(self._canvases) - 1)
             if self._index is not None:
                 self._index.reindex_canvas(len(self._canvases) - 1, canvas)
         else:  # "fit"
@@ -848,6 +1080,7 @@ class IncrementalStitcher:
             canvas.place(patch, plan.rect_index)
             self._active_used += patch.area
             self.stats["incremental_placements"] += 1
+            self._touch_canvas_efficiency(plan.canvas_index)
             if self._index is not None:
                 self._index.reindex_canvas(plan.canvas_index, canvas)
         return self._canvases
@@ -877,5 +1110,34 @@ class IncrementalStitcher:
         self._last_repack_size = len(self._patches)
         self._partial_failures = 0
         self._partial_retry_size = 0
+        self._rebuild_efficiency_heap()
         if self._index is not None:
             self._index.rebuild(self._canvases)
+
+    def _rebuild_efficiency_heap(self) -> None:
+        """Re-seed the efficiency heap from the live canvas list."""
+        self._eff_stamp = [0] * len(self._canvases)
+        heap = [
+            (canvas.efficiency, index, 0)
+            for index, canvas in enumerate(self._canvases)
+            if not canvas.oversized
+        ]
+        heapq.heapify(heap)
+        self._eff_heap = heap
+
+    def _touch_canvas_efficiency(self, index: int) -> None:
+        """Record a mutation of canvas slot ``index``: invalidate its old
+        heap entries and push one with the current efficiency."""
+        if self.repack_scope != "canvas":
+            # Only _plan_partial_repack reads the heap; don't grow it by
+            # one tuple per arrival on configurations that never consult it.
+            return
+        stamps = self._eff_stamp
+        while len(stamps) <= index:
+            stamps.append(0)
+        stamps[index] += 1
+        canvas = self._canvases[index]
+        if not canvas.oversized:
+            heapq.heappush(
+                self._eff_heap, (canvas.efficiency, index, stamps[index])
+            )

@@ -22,7 +22,7 @@ It can run in two modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.latency import LatencyEstimator
@@ -88,6 +88,9 @@ class TangramConfig:
     scheduler_repack_scope: str = "queue"
     #: Probe via the size-class free-rectangle index (identical decisions).
     scheduler_use_index: bool = True
+    #: Canvas free-space structure: ``"skyline"`` (default) or
+    #: ``"guillotine"`` (see :class:`repro.core.skyline.Skyline`).
+    canvas_structure: str = "skyline"
 
 
 class Tangram:
@@ -118,6 +121,7 @@ class Tangram:
         self.solver = PatchStitchingSolver(
             canvas_width=self.config.canvas_width,
             canvas_height=self.config.canvas_height,
+            canvas_structure=self.config.canvas_structure,
         )
         self.estimator = LatencyEstimator(
             latency_model=self.latency_model,

@@ -14,7 +14,7 @@ Two flavours are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from repro.simulation.engine import Simulator

@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.partitioning import FramePartitioner
 from repro.network.encoding import FrameEncoder
@@ -95,7 +95,6 @@ def roi_method_comparison(
     """Compute the Table IV row for one RoI extraction method."""
     streams = RandomStreams(seed)
     encoder = FrameEncoder()
-    extractor = make_extractor(method, streams=streams.spawn("bw"))
     partitioner = FramePartitioner(
         zones_x=zones, zones_y=zones, roi_extractor=make_extractor(method, streams=streams.spawn("part"))
     )

@@ -29,7 +29,7 @@ from repro.baselines.mark import MArkScheduler
 from repro.core.partitioning import FramePartitioner
 from repro.core.scheduler import BaseScheduler, BatchRecord, PatchOutcome, TangramScheduler
 from repro.core.latency import LatencyEstimator
-from repro.core.stitching import PatchStitchingSolver
+from repro.core.stitching import CANVAS_STRUCTURES, PatchStitchingSolver
 from repro.network.encoding import FrameEncoder
 from repro.network.link import Uplink
 from repro.serverless.platform import ServerlessPlatform, ScalingPolicy
@@ -83,6 +83,9 @@ class EndToEndConfig:
     #: plumbing; metrics become byte-identical to ``scheduler_incremental
     #: = False`` (used for equivalence checks).
     scheduler_full_repack_equivalent: bool = False
+    #: Canvas free-space structure: ``"skyline"`` (default) or
+    #: ``"guillotine"`` (see :class:`repro.core.skyline.Skyline`).
+    canvas_structure: str = "skyline"
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -91,6 +94,11 @@ class EndToEndConfig:
             )
         if self.bandwidth_mbps <= 0 or self.slo <= 0 or self.fps <= 0:
             raise ValueError("bandwidth_mbps, slo and fps must be positive")
+        if self.canvas_structure not in CANVAS_STRUCTURES:
+            raise ValueError(
+                f"unknown canvas_structure {self.canvas_structure!r}; "
+                f"valid: {CANVAS_STRUCTURES}"
+            )
 
 
 @dataclass
@@ -234,7 +242,9 @@ class EndToEndRunner:
         config = self.config
         if config.strategy == "tangram":
             solver = PatchStitchingSolver(
-                canvas_width=config.canvas_size, canvas_height=config.canvas_size
+                canvas_width=config.canvas_size,
+                canvas_height=config.canvas_size,
+                canvas_structure=config.canvas_structure,
             )
             estimator = LatencyEstimator(
                 latency_model=self.latency_model,

@@ -10,7 +10,7 @@ which is what makes the platform suitable for fluctuating workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from repro.simulation.engine import Simulator

@@ -8,7 +8,7 @@ benchmarks compare the two.
 
 from __future__ import annotations
 
-from typing import List, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from repro.serverless.function import FunctionInstance
 

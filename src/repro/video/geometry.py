@@ -28,7 +28,7 @@ class Box:
     def __post_init__(self) -> None:
         if self.width < 0 or self.height < 0:
             raise ValueError(
-                f"box dimensions must be non-negative, got "
+                "box dimensions must be non-negative, got "
                 f"width={self.width}, height={self.height}"
             )
 

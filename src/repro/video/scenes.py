@@ -12,7 +12,7 @@ frames whose aggregate behaviour matches the paper's workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 #: The 4K resolution the paper resizes PANDA frames to.

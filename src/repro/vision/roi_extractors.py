@@ -166,7 +166,6 @@ class AnalyticRoIExtractor:
     # ---------------------------------------------------------------- extract
     def extract(self, frame: Frame) -> List[Box]:
         """Return the RoI boxes the extractor finds in ``frame``."""
-        profile = self.profile
         rois: List[Box] = []
         for obj in frame.objects:
             if self.rng.random() > self.detection_probability(obj):

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.partitioning import FramePartitioner, make_zones, partition_rois
 from repro.simulation.random_streams import RandomStreams
-from repro.video.frames import Frame, GroundTruthObject
 from repro.video.geometry import Box
 from repro.vision.roi_extractors import make_extractor
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.pipeline.endtoend import EndToEndConfig, EndToEndRunner, run_end_to_end
@@ -111,7 +110,6 @@ class TestEndToEndRunner:
         assert a.num_patches == b.num_patches
 
     def test_empty_result_properties_are_safe(self):
-        result = run_end_to_end.__wrapped__ if hasattr(run_end_to_end, "__wrapped__") else None
         # Direct construction of an empty result exercises the guard paths.
         from repro.pipeline.endtoend import EndToEndResult
 

@@ -1,0 +1,437 @@
+"""Tests for the skyline free-space structure (``repro.core.skyline``).
+
+Four pins:
+
+* **Structural invariants** — segments stay x-sorted, merged, and within
+  the canvas; surface candidates are maximal; waste rectangles stay
+  disjoint and below the silhouette (``Skyline.check_invariants``), and
+  every packing invariant of the batch solver holds on skyline canvases.
+* **Equivalence on packing metrics** — randomized skyline-vs-guillotine
+  comparisons of canvas count and per-canvas efficiency, up to queue
+  depth 4096 (the benchmark A/B's gate lives in ``benchmarks/perf``;
+  these are the always-on pins).
+* **Best-fit exactness** — ``Skyline.best_fit``'s bisect fast-reject and
+  tuple scan return exactly what a naive scan over ``free_rectangles``
+  would, and the size-class index stays byte-identical to the linear
+  probe on skyline canvases.
+* **Efficiency-heap selection** — ``_plan_partial_repack``'s running
+  min-heap picks exactly the victims the former sort-per-overflow did.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.patches import Patch
+from repro.core.skyline import FreeRect, Skyline
+from repro.core.stitching import (
+    Canvas,
+    IncrementalStitcher,
+    PatchStitchingSolver,
+)
+from repro.video.geometry import Box
+
+patch_sizes = st.tuples(
+    st.floats(min_value=10.0, max_value=1500.0, allow_nan=False),
+    st.floats(min_value=10.0, max_value=1500.0, allow_nan=False),
+)
+
+fitting_sizes = st.tuples(
+    st.floats(min_value=10.0, max_value=1000.0, allow_nan=False),
+    st.floats(min_value=10.0, max_value=1000.0, allow_nan=False),
+)
+
+
+def _patches(size_list) -> list[Patch]:
+    return [
+        Patch(
+            camera_id="cam",
+            frame_index=0,
+            region=Box(0.0, 0.0, width, height),
+            generation_time=0.0,
+            slo=1.0,
+        )
+        for width, height in size_list
+    ]
+
+
+def _rng_patches(count: int, seed: int, lo: float = 64.0, hi: float = 640.0):
+    rng = np.random.default_rng(seed)
+    return _patches(
+        zip(
+            (float(w) for w in rng.uniform(lo, hi, size=count)),
+            (float(h) for h in rng.uniform(lo, hi, size=count)),
+        )
+    )
+
+
+# ------------------------------------------------------------ invariants
+class TestSkylineInvariants:
+    def test_fresh_skyline_is_one_floor_segment_and_one_candidate(self):
+        sky = Skyline(1024.0, 768.0)
+        assert sky.segments == [(0.0, 0.0, 1024.0)]
+        assert sky.candidates == [(0.0, 0.0, 1024.0, 768.0)]
+        assert sky.num_surface == 1
+        sky.check_invariants()
+
+    def test_place_raises_silhouette_and_splits_segments(self):
+        sky = Skyline(1000.0, 1000.0)
+        x, y = sky.place(0, 400.0, 300.0)
+        assert (x, y) == (0.0, 0.0)
+        assert sky.segments == [(0.0, 300.0, 400.0), (400.0, 0.0, 600.0)]
+        sky.check_invariants()
+
+    def test_equal_height_neighbours_merge_on_commit(self):
+        sky = Skyline(1000.0, 1000.0)
+        sky.place(0, 400.0, 300.0)
+        # Place a second 300-tall patch on the floor next to the first:
+        # the two 300-high runs must merge into one segment.
+        floor = next(
+            i for i, c in enumerate(sky.candidates) if c[1] == 0.0 and c[2] >= 600.0
+        )
+        x, y = sky.place(floor, 600.0, 300.0)
+        assert (x, y) == (400.0, 0.0)
+        assert sky.segments == [(0.0, 300.0, 1000.0)]
+        sky.check_invariants()
+
+    def test_bridging_placement_records_waste(self):
+        sky = Skyline(1000.0, 1000.0)
+        sky.place(0, 400.0, 300.0)  # floor now 300 over [0,400), 0 over [400,1000)
+        # Place a 900-wide patch on the 300-level candidate: it bridges
+        # the 600-wide floor valley, which must become a waste rectangle.
+        level = next(i for i, c in enumerate(sky.candidates) if c[1] == 300.0)
+        x, y = sky.place(level, 900.0, 200.0)
+        assert (x, y) == (0.0, 300.0)
+        assert sky.waste == [(400.0, 0.0, 500.0, 300.0)]
+        sky.check_invariants()
+        # The waste rectangle is offered as a candidate and is usable.
+        waste_index = sky.candidates.index((400.0, 0.0, 500.0, 300.0))
+        wx, wy = sky.place(waste_index, 500.0, 300.0)
+        assert (wx, wy) == (400.0, 0.0)
+        sky.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(patch_sizes, min_size=1, max_size=40))
+    def test_skyline_packing_invariants_hold(self, size_list):
+        solver = PatchStitchingSolver(canvas_structure="skyline")
+        canvases = solver.pack(_patches(size_list))
+        PatchStitchingSolver.validate_packing(canvases, strict=True)
+        for canvas in canvases:
+            assert canvas.skyline is not None
+            canvas.skyline.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(patch_sizes, min_size=1, max_size=40))
+    def test_incremental_skyline_invariants_hold_after_every_arrival(
+        self, size_list
+    ):
+        stitcher = IncrementalStitcher(
+            PatchStitchingSolver(canvas_structure="skyline"),
+            repack_scope="canvas",
+            partial_patch_budget=8,
+        )
+        for patch in _patches(size_list):
+            stitcher.add(patch)
+            PatchStitchingSolver.validate_packing(stitcher.canvases, strict=True)
+            for canvas in stitcher.canvases:
+                if canvas.skyline is not None:
+                    canvas.skyline.check_invariants()
+
+    def test_oversized_patch_gets_skyline_canvas_too(self):
+        solver = PatchStitchingSolver(canvas_structure="skyline")
+        canvases = solver.pack(_patches([(2048.0, 1100.0), (100.0, 100.0)]))
+        oversized = [c for c in canvases if c.oversized]
+        assert len(oversized) == 1
+        assert oversized[0].structure == "skyline"
+        PatchStitchingSolver.validate_packing(canvases, strict=True)
+
+    def test_canvas_default_structure_stays_guillotine(self):
+        """Direct ``Canvas()`` construction keeps the PR-2 structure; only
+        the solver (and everything above it) defaults to skyline."""
+        assert Canvas(width=100, height=100).structure == "guillotine"
+        assert PatchStitchingSolver().canvas_structure == "skyline"
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError):
+            Canvas(width=100, height=100, structure="quadtree")
+        with pytest.raises(ValueError):
+            PatchStitchingSolver(canvas_structure="quadtree")
+
+    def test_skyline_canvas_must_start_empty(self):
+        from repro.core.stitching import Placement
+
+        rogue = Placement(patch=_patches([(10.0, 10.0)])[0], x=0.0, y=0.0)
+        with pytest.raises(ValueError):
+            Canvas(width=100, height=100, placements=[rogue], structure="skyline")
+
+    def test_skyline_canvas_rejects_free_rectangles_writes(self):
+        """The skyline is the source of truth; assigning the derived list
+        would silently desync reads from placement decisions."""
+        canvas = Canvas(width=100, height=100, structure="skyline")
+        with pytest.raises(ValueError):
+            canvas.free_rectangles = [Box(0.0, 0.0, 50.0, 50.0)]
+        guillotine = Canvas(width=100, height=100)
+        guillotine.free_rectangles = [Box(0.0, 0.0, 50.0, 50.0)]
+        assert guillotine.free_rectangles == [Box(0.0, 0.0, 50.0, 50.0)]
+
+    def test_free_rect_quacks_like_box(self):
+        rect = FreeRect(10.0, 20.0, 30.0, 40.0)
+        box = Box(10.0, 20.0, 30.0, 40.0)
+        assert rect.area == box.area
+        assert (rect.x2, rect.y2) == (box.x2, box.y2)
+        assert rect.as_tuple() == box.as_tuple()
+        assert rect.contains_box(Box(12.0, 22.0, 5.0, 5.0))
+        assert not rect.contains_box(Box(0.0, 0.0, 5.0, 5.0))
+        assert rect == FreeRect(10.0, 20.0, 30.0, 40.0)
+        assert rect != FreeRect(10.0, 20.0, 30.0, 41.0)
+
+
+# ----------------------------------------------------- best-fit exactness
+def _naive_best_fit(canvas: Canvas, patch: Patch):
+    """The reference scan: strict ``<`` over ``free_rectangles`` order."""
+    best_index = -1
+    best_score = float("inf")
+    for index, rect in enumerate(canvas.free_rectangles):
+        if rect.width >= patch.width and rect.height >= patch.height:
+            score = min(rect.width - patch.width, rect.height - patch.height)
+            if score < best_score:
+                best_score = score
+                best_index = index
+    if best_index < 0:
+        return None
+    return best_index, best_score
+
+
+class TestBestFitExactness:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(fitting_sizes, min_size=1, max_size=25),
+        st.lists(fitting_sizes, min_size=1, max_size=10),
+    )
+    def test_skyline_best_fit_matches_naive_scan(self, placed, probes):
+        canvas = Canvas(width=1024, height=1024, structure="skyline")
+        for patch in _patches(placed):
+            canvas.try_place(patch)
+        for probe in _patches(probes):
+            assert canvas.best_fit(probe) == _naive_best_fit(canvas, probe)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(fitting_sizes, min_size=1, max_size=25),
+        st.lists(fitting_sizes, min_size=1, max_size=10),
+    )
+    def test_fits_profile_is_exact(self, placed, probes):
+        canvas = Canvas(width=1024, height=1024, structure="skyline")
+        for patch in _patches(placed):
+            canvas.try_place(patch)
+        sky = canvas.skyline
+        assert sky is not None
+        for probe in _patches(probes):
+            expected = any(
+                w >= probe.width and h >= probe.height
+                for (_x, _y, w, h) in sky.candidates
+            )
+            assert sky.fits(probe.width, probe.height) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(patch_sizes, min_size=1, max_size=40))
+    def test_index_matches_linear_probe_on_skyline_canvases(self, size_list):
+        """The size-class index must stay byte-identical to the linear
+        global BSSF when the pools underneath are skyline candidates."""
+        indexed = IncrementalStitcher(
+            PatchStitchingSolver(canvas_structure="skyline"), use_index=True
+        )
+        linear = IncrementalStitcher(
+            PatchStitchingSolver(canvas_structure="skyline"), use_index=False
+        )
+        for patch in _patches(size_list):
+            indexed.add(patch)
+            linear.add(patch)
+            key = lambda stitcher: [
+                (p.patch.patch_id, p.x, p.y)
+                for c in stitcher.canvases
+                for p in c.placements
+            ]
+            assert key(indexed) == key(linear)
+
+
+# ------------------------------------------- skyline vs guillotine metrics
+def _pack_metrics(patches, structure):
+    solver = PatchStitchingSolver(canvas_structure=structure)
+    canvases = solver.pack(patches)
+    PatchStitchingSolver.validate_packing(canvases, strict=True)
+    efficiency = PatchStitchingSolver.mean_efficiency(canvases)
+    return len(canvases), efficiency
+
+
+class TestStructureEquivalence:
+    @pytest.mark.parametrize(
+        "depth,seed", [(64, 3), (64, 11), (256, 5), (256, 23), (1024, 7)]
+    )
+    def test_randomized_batch_pack_metrics_match(self, depth, seed):
+        patches = _rng_patches(depth, seed)
+        g_count, g_eff = _pack_metrics(patches, "guillotine")
+        s_count, s_eff = _pack_metrics(patches, "skyline")
+        # Canvas counts within 4% (plus one canvas of slack on small runs).
+        assert abs(s_count - g_count) <= max(1, math.ceil(0.04 * g_count))
+        assert s_eff >= 0.97 * g_eff
+
+    def test_batch_pack_metrics_match_at_depth_4096(self):
+        """The acceptance-criterion depth: the equivalence must hold on
+        the fleet-scale queue the benchmark A/B gates."""
+        patches = _rng_patches(4096, seed=19)
+        g_count, g_eff = _pack_metrics(patches, "guillotine")
+        s_count, s_eff = _pack_metrics(patches, "skyline")
+        assert s_count <= math.ceil(1.03 * g_count)
+        assert s_eff >= 0.98 * g_eff
+
+    def test_heavy_tail_metrics_match(self):
+        rng = np.random.default_rng(29)
+        widths = np.clip(rng.lognormal(4.8, 0.8, size=512), 32.0, 1000.0)
+        heights = np.clip(rng.lognormal(4.8, 0.8, size=512), 32.0, 1000.0)
+        patches = _patches(zip(map(float, widths), map(float, heights)))
+        g_count, g_eff = _pack_metrics(patches, "guillotine")
+        s_count, s_eff = _pack_metrics(patches, "skyline")
+        assert abs(s_count - g_count) <= max(1, math.ceil(0.05 * g_count))
+        assert s_eff >= 0.96 * g_eff
+
+    def test_incremental_stream_metrics_match_at_depth_1024(self):
+        """Arrival-order (incremental) packing: live canvas count and mean
+        canvas efficiency of the two structures track each other."""
+        patches = _rng_patches(1024, seed=13)
+        results = {}
+        for structure in ("guillotine", "skyline"):
+            stitcher = IncrementalStitcher(
+                PatchStitchingSolver(canvas_structure=structure),
+                repack_scope="canvas",
+            )
+            for patch in patches:
+                stitcher.add(patch)
+            PatchStitchingSolver.validate_packing(stitcher.canvases, strict=True)
+            results[structure] = (
+                stitcher.num_canvases,
+                stitcher.mean_canvas_efficiency,
+            )
+        g_count, g_eff = results["guillotine"]
+        s_count, s_eff = results["skyline"]
+        assert abs(s_count - g_count) <= max(1, math.ceil(0.05 * g_count))
+        assert s_eff >= 0.97 * g_eff
+
+
+# ------------------------------------------------- efficiency-heap victims
+def _reference_victims(stitcher: IncrementalStitcher, patch: Patch):
+    """The pre-heap victim selection: rescan every canvas's efficiency,
+    sort, and greedily pool under the budget caps (PR-2 behaviour)."""
+    candidates = sorted(
+        (canvas.efficiency, index)
+        for index, canvas in enumerate(stitcher.canvases)
+        if not canvas.oversized
+    )
+    pool = 1
+    victims: list[int] = []
+    for _, index in candidates:
+        if len(victims) >= stitcher.max_partial_victims:
+            break
+        canvas = stitcher.canvases[index]
+        if pool + canvas.num_patches > stitcher.partial_patch_budget:
+            continue
+        pool += canvas.num_patches
+        victims.append(index)
+    return victims
+
+
+class TestEfficiencyHeap:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(fitting_sizes, min_size=4, max_size=50))
+    def test_partial_repack_victims_match_reference_selection(self, size_list):
+        stitcher = IncrementalStitcher(
+            PatchStitchingSolver(canvas_structure="skyline"),
+            repack_scope="canvas",
+            partial_patch_budget=8,
+        )
+        for patch in _patches(size_list):
+            plan = stitcher.probe(patch)
+            if plan.kind == "partial":
+                assert plan.victim_indices is not None
+                assert plan.victim_indices == _reference_victims(stitcher, patch)
+            stitcher.commit(plan)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(fitting_sizes, min_size=2, max_size=40))
+    def test_heap_tracks_live_efficiencies(self, size_list):
+        """After any arrival mix, the heap's valid entries describe exactly
+        the live non-oversized canvases at their current efficiencies."""
+        stitcher = IncrementalStitcher(
+            PatchStitchingSolver(canvas_structure="skyline"),
+            repack_scope="canvas",
+            partial_patch_budget=8,
+        )
+        for patch in _patches(size_list):
+            stitcher.add(patch)
+        valid = sorted(
+            (eff, index)
+            for eff, index, stamp in stitcher._eff_heap
+            if stamp == stitcher._eff_stamp[index]
+        )
+        expected = sorted(
+            (canvas.efficiency, index)
+            for index, canvas in enumerate(stitcher.canvases)
+            if not canvas.oversized
+        )
+        assert valid == expected
+
+    def test_probe_leaves_heap_usable(self):
+        """A probe pops heap entries while planning; every live canvas
+        must still be selectable by the next probe (entries pushed back)."""
+        stitcher = IncrementalStitcher(
+            PatchStitchingSolver(canvas_structure="skyline"),
+            repack_scope="canvas",
+            partial_patch_budget=8,
+        )
+        sizes = [(300.0, 300.0)] * 20 + [(900.0, 900.0)] * 3
+        for patch in _patches(sizes):
+            stitcher.add(patch)
+        probe_patch = _patches([(500.0, 500.0)])[0]
+        first = stitcher.probe(probe_patch)
+        second = stitcher.probe(probe_patch)
+        assert (first.kind, first.victim_indices) == (
+            second.kind,
+            second.victim_indices,
+        )
+
+
+# -------------------------------------------------------------- pack_within
+class TestPackWithin:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(fitting_sizes, min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_pack_within_matches_full_pack(self, size_list, limit):
+        solver = PatchStitchingSolver(canvas_structure="skyline")
+        patches = _patches(size_list)
+        full = solver.pack(patches)
+        bounded = solver.pack_within(patches, limit)
+        if len(full) > limit:
+            assert bounded is None
+        else:
+            assert bounded is not None
+            assert [
+                (p.patch.patch_id, p.x, p.y) for c in bounded for p in c.placements
+            ] == [(p.patch.patch_id, p.x, p.y) for c in full for p in c.placements]
+
+    def test_pack_within_counts_oversized_canvases_against_the_cap(self):
+        """A dedicated oversized canvas breaches the cap exactly like a
+        regular one (pack-then-reject semantics count both)."""
+        solver = PatchStitchingSolver(
+            canvas_width=100.0, canvas_height=100.0, canvas_structure="skyline"
+        )
+        pool = _patches([(90.0, 90.0), (90.0, 90.0), (200.0, 20.0)])
+        assert len(solver.pack(pool)) == 3
+        assert solver.pack_within(pool, 2) is None
+        assert solver.pack_within(pool, 3) is not None
