@@ -18,6 +18,12 @@ default:
     Smoke mode: one repeat of the cheap 256-depth sections only.  The
     tier-1 test suite runs ``--quick --check`` (see
     ``tests/test_perf_smoke.py``) so hot-path regressions fail pytest.
+``--profile``:
+    Instead of the timed sections, run one instrumented deep-queue
+    arrival scenario and print the per-stage time shares (probe /
+    consolidation / commit), reproducing the ROADMAP's arrival-path
+    profile from the harness.  ``--profile-mix`` picks the workload
+    (``fleet`` or ``crowded``), ``--profile-depth`` the queue depth.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from benchmarks.perf.harness import (
     SECTIONS,
     check_against_baseline,
     load_baseline,
+    profile_arrival,
     run_all,
     write_results,
 )
@@ -96,6 +103,32 @@ def main(argv=None) -> int:
         "speedup at depth 4096 drops below this (default 2.0)",
     )
     parser.add_argument(
+        "--min-consolidation-speedup",
+        type=float,
+        default=1.5,
+        help="--check fails when the depth-4096 memo-vs-repack "
+        "consolidation speedup drops below this (default 1.5)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the instrumented arrival-path profile (per-stage time "
+        "shares: probe / consolidation / commit) instead of the sections",
+    )
+    parser.add_argument(
+        "--profile-mix",
+        choices=["fleet", "crowded"],
+        default="fleet",
+        help="--profile workload: the uniform fleet mix (default) or the "
+        "consolidation A/B's crowded mix (backoff disabled, as in the A/B)",
+    )
+    parser.add_argument(
+        "--profile-depth",
+        type=int,
+        default=4096,
+        help="--profile queue depth (default 4096)",
+    )
+    parser.add_argument(
         "--ratios-only",
         action="store_true",
         help="--check gates only the same-run derived ratios, skipping the "
@@ -116,6 +149,24 @@ def main(argv=None) -> int:
         help="where to write the fresh report (default: BENCH_perf.last.json)",
     )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        report = profile_arrival(depth=args.profile_depth, mix=args.profile_mix)
+        print(f"arrival-path profile: {report['section']}")
+        print(f"{'stage'.ljust(14)}  seconds    share")
+        for stage, entry in report["stages"].items():
+            print(
+                f"{stage.ljust(14)}  {entry['seconds']:8.4f}  "
+                f"{100 * entry['share']:5.1f}%"
+            )
+        print(f"{'total'.ljust(14)}  {report['total_seconds']:8.4f}  100.0%")
+        stats = report["consolidation_stats"]
+        if stats:
+            print(
+                "consolidation: "
+                + ", ".join(f"{key}={value}" for key, value in stats.items())
+            )
+        return 0
 
     if args.update_baseline and (args.only or args.quick):
         # A partial report would overwrite the baseline and silently drop
@@ -164,6 +215,7 @@ def main(argv=None) -> int:
             min_index_speedup=args.min_index_speedup,
             min_efficiency_ratio=args.min_efficiency_ratio,
             min_skyline_speedup=args.min_skyline_speedup,
+            min_consolidation_speedup=args.min_consolidation_speedup,
             ratios_only=args.ratios_only,
         )
         if failures:

@@ -96,6 +96,52 @@ def _make_heavytail_patches(count: int, seed: int):
     ]
 
 
+def _make_crowded_patches(count: int, seed: int):
+    """The consolidation A/B's crowded-fleet mix: 30% wide-flat RoIs
+    (560-700 x 360-480 — exactly two stack per canvas, so a victim pool
+    of flat-pair canvases can never consolidate), 60% near-canvas giants
+    (800-1020 square — they overflow on arrival but their singleton
+    canvases are efficient enough to stay out of the victim set), and
+    10% small crops (they land in victims' gaps, churning the pools the
+    memo cache must invalidate).  The regime of sustained wasteful
+    overflows whose trial re-packs keep failing on slowly-changing
+    victim pools — the worst case the consolidation subsystem exists
+    for."""
+    from repro.core.patches import Patch
+    from repro.video.geometry import Box
+
+    rng = np.random.default_rng(seed)
+    kind = rng.random(count)
+    widths = np.where(
+        kind < 0.3,
+        rng.uniform(560.0, 700.0, count),
+        np.where(
+            kind < 0.4,
+            rng.uniform(64.0, 200.0, count),
+            rng.uniform(800.0, 1020.0, count),
+        ),
+    )
+    heights = np.where(
+        kind < 0.3,
+        rng.uniform(360.0, 480.0, count),
+        np.where(
+            kind < 0.4,
+            rng.uniform(64.0, 200.0, count),
+            rng.uniform(800.0, 1020.0, count),
+        ),
+    )
+    return [
+        Patch(
+            camera_id="bench",
+            frame_index=index,
+            region=Box(0.0, 0.0, float(w), float(h)),
+            generation_time=0.0,
+            slo=1e9,
+        )
+        for index, (w, h) in enumerate(zip(widths, heights))
+    ]
+
+
 def _make_timed_trace(count: int, seed: int, slo: float = 2.0, spacing: float = 0.008):
     """Patches with increasing generation times and a realistic SLO, so a
     scheduler run flushes its queue the way production traffic does.  The
@@ -271,6 +317,9 @@ def _bench_deep_arrival(
     index_stats = scheduler.index_stats
     if index_stats:
         meta["index_stats"] = index_stats
+    consolidation_stats = scheduler.consolidation_stats
+    if consolidation_stats and consolidation_stats.get("attempts"):
+        meta["consolidation_stats"] = consolidation_stats
     return BenchResult(name, elapsed, meta)
 
 
@@ -397,6 +446,59 @@ def bench_fleet_repack_skyline() -> BenchResult:
     return _bench_fleet_repack("skyline", "stitching_fleet_repack_skyline_4096")
 
 
+#: The consolidation A/B pairs isolate the overflow-consolidation path:
+#: canvas scope with a hard-consolidating budget (32 victims / 96 pooled
+#: patches) and the retry backoff disabled, so every wasteful overflow
+#: attempts a consolidation — under the growth-gate backoff both arms
+#: attempt so rarely that the pair would measure the backoff, not the
+#: policy ("memo"'s stamp cache *is* the precise replacement for that
+#: gate: it retries exactly when a member canvas changed).  Decisions are
+#: byte-identical between the two arms (tests/test_consolidation.py), so
+#: the timing difference is purely trial packs skipped by the cache.
+_CONSOLIDATION_ONLY = {
+    "repack_scope": "canvas",
+    "max_partial_victims": 32,
+    "partial_patch_budget": 96,
+    "retry_backoff": False,
+}
+
+
+def _bench_consolidation(depth: int, policy: str) -> BenchResult:
+    return _bench_deep_arrival(
+        f"scheduler_arrival_consolidation_{policy}_{depth}",
+        _make_crowded_patches(depth, seed=43),
+        use_index=True,
+        consolidation=policy,
+        **_CONSOLIDATION_ONLY,
+    )
+
+
+def bench_consolidation_repack_1024() -> BenchResult:
+    return _bench_consolidation(1024, "repack")
+
+
+def bench_consolidation_memo_1024() -> BenchResult:
+    return _bench_consolidation(1024, "memo")
+
+
+def bench_consolidation_repack_4096() -> BenchResult:
+    return _bench_consolidation(4096, "repack")
+
+
+def bench_consolidation_memo_4096() -> BenchResult:
+    return _bench_consolidation(4096, "memo")
+
+
+def bench_consolidation_merge_4096() -> BenchResult:
+    """The ``"merge"`` arm on the same crowded mix, for visibility: its
+    drain-and-migrate planning mostly stalls here (the whole point of the
+    mix is that nothing fits anywhere) and falls back to the memo-cached
+    trial pack, so it tracks the ``"memo"`` arm plus the stall probes.
+    Its winning regime is the realistic stream (see
+    ``scheduler_stream_merge_2048``)."""
+    return _bench_consolidation(4096, "merge")
+
+
 def bench_arrival_heavytail_1024() -> BenchResult:
     """Heavy-tailed patch sizes stress the index's bucket spread (many
     tiny crops, occasional near-canvas giants) and the partial re-pack's
@@ -479,6 +581,18 @@ def bench_stream_partial_guillotine_2048() -> BenchResult:
         "scheduler_stream_partial_guillotine_2048",
         canvas_structure="guillotine",
         repack_scope="canvas",
+    )
+
+
+def bench_stream_merge_2048() -> BenchResult:
+    """The same realistic stream under ``consolidation="merge"``: its
+    mean canvas efficiency against the memo/repack-decisions stream
+    (``scheduler_stream_partial_2048``) is the committed
+    ``consolidation_stream_efficiency_ratio`` (gated at >= 0.99)."""
+    return _bench_scheduler_stream(
+        "scheduler_stream_merge_2048",
+        repack_scope="canvas",
+        consolidation="merge",
     )
 
 
@@ -588,13 +702,92 @@ SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "stitching_fleet_repack_guillotine_4096": bench_fleet_repack_guillotine,
     "stitching_fleet_repack_skyline_4096": bench_fleet_repack_skyline,
     "scheduler_arrival_heavytail_1024": bench_arrival_heavytail_1024,
+    "scheduler_arrival_consolidation_repack_1024": bench_consolidation_repack_1024,
+    "scheduler_arrival_consolidation_memo_1024": bench_consolidation_memo_1024,
+    "scheduler_arrival_consolidation_repack_4096": bench_consolidation_repack_4096,
+    "scheduler_arrival_consolidation_memo_4096": bench_consolidation_memo_4096,
+    "scheduler_arrival_consolidation_merge_4096": bench_consolidation_merge_4096,
     "scheduler_stream_batchpack_2048": bench_stream_batch_packer_2048,
     "scheduler_stream_partial_2048": bench_stream_partial_repack_2048,
     "scheduler_stream_partial_guillotine_2048": bench_stream_partial_guillotine_2048,
+    "scheduler_stream_merge_2048": bench_stream_merge_2048,
     "gmm_frame_loop": bench_gmm_frame_loop,
     "end_to_end_small": bench_end_to_end,
     "end_to_end_fleet_64": bench_end_to_end_fleet,
 }
+
+
+# -------------------------------------------------------------------- profile
+def profile_arrival(depth: int = 4096, mix: str = "fleet") -> Dict[str, object]:
+    """Instrumented run of the deep-queue arrival scenario: wraps the
+    stitcher's ``probe``/``commit`` and the consolidation engine's
+    ``plan`` with wall-clock counters and reports each stage's share of
+    the arrival path.  This is how the "trial re-packs are ~60% of
+    arrival time at depth 4096" ROADMAP claim is reproduced from the
+    harness instead of ad-hoc profiling.
+
+    ``mix`` selects the workload: ``"fleet"`` (the uniform 64-640 mix of
+    ``scheduler_arrival_fleet_4096``, default) or ``"crowded"`` (the
+    consolidation A/B mix, which also disables the retry backoff the way
+    the A/B sections do).
+    """
+    if mix == "fleet":
+        patches = _make_patches(depth, seed=19)
+        scheduler_kwargs: Dict[str, object] = {}
+    elif mix == "crowded":
+        patches = _make_crowded_patches(depth, seed=43)
+        scheduler_kwargs = dict(_CONSOLIDATION_ONLY)
+        scheduler_kwargs.pop("repack_scope")
+    else:
+        raise ValueError(f"unknown profile mix {mix!r} (use 'fleet' or 'crowded')")
+    _simulator, scheduler = _build_scheduler(
+        True, use_index=True, repack_scope="canvas", **scheduler_kwargs
+    )
+    packer = scheduler._packer
+    engine = packer._consolidation
+    times = {"probe": 0.0, "commit": 0.0, "consolidation": 0.0}
+
+    def timed(label, func):
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                times[label] += time.perf_counter() - start
+
+        return wrapper
+
+    packer.probe = timed("probe", packer.probe)
+    packer.commit = timed("commit", packer.commit)
+    engine.plan = timed("consolidation", engine.plan)
+
+    start = time.perf_counter()
+    for patch in patches:
+        scheduler.receive_patch(patch)
+    total = time.perf_counter() - start
+
+    # ``consolidation`` runs inside ``probe``; carve it out so the three
+    # reported stages are disjoint.
+    stages = {
+        "probe": times["probe"] - times["consolidation"],
+        "consolidation": times["consolidation"],
+        "commit": times["commit"],
+    }
+    stages["other"] = max(0.0, total - sum(stages.values()))
+    return {
+        "section": f"scheduler_arrival_{mix}_{depth}",
+        "queue_depth": depth,
+        "total_seconds": round(total, 6),
+        "stages": {
+            name: {
+                "seconds": round(seconds, 6),
+                "share": round(seconds / total, 4) if total > 0 else 0.0,
+            }
+            for name, seconds in stages.items()
+        },
+        "packing_stats": scheduler.packing_stats,
+        "consolidation_stats": scheduler.consolidation_stats,
+    }
 
 
 # --------------------------------------------------------------------- runner
@@ -657,6 +850,13 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
     fleet = _ratio("scheduler_arrival_pr1_4096", "scheduler_arrival_fleet_4096")
     if fleet is not None:
         derived["arrival_fleet_speedup_4096"] = fleet
+    for depth in (1024, 4096):
+        ratio = _ratio(
+            f"scheduler_arrival_consolidation_repack_{depth}",
+            f"scheduler_arrival_consolidation_memo_{depth}",
+        )
+        if ratio is not None:
+            derived[f"consolidation_memo_speedup_{depth}"] = ratio
     skyline_pack = _ratio(
         "stitching_fleet_repack_guillotine_4096",
         "stitching_fleet_repack_skyline_4096",
@@ -682,6 +882,17 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
             derived["skyline_stream_efficiency_ratio"] = round(
                 skyline_eff / guillotine_eff, 4
             )
+    merge_stream = sections.get("scheduler_stream_merge_2048")
+    if partial and merge_stream:
+        # ``scheduler_stream_partial_2048`` runs the default "memo"
+        # policy, whose decisions are byte-identical to "repack" — so
+        # this ratio bounds the "merge" policy's efficiency drift.
+        reference_eff = float(partial["meta"].get("mean_canvas_efficiency", 0.0))
+        merge_eff = float(merge_stream["meta"].get("mean_canvas_efficiency", 0.0))
+        if reference_eff > 0:
+            derived["consolidation_stream_efficiency_ratio"] = round(
+                merge_eff / reference_eff, 4
+            )
     return derived
 
 
@@ -703,6 +914,7 @@ def check_against_baseline(
     min_index_speedup: float = 3.0,
     min_efficiency_ratio: float = 0.99,
     min_skyline_speedup: float = 2.0,
+    min_consolidation_speedup: float = 1.5,
     ratios_only: bool = False,
 ) -> List[str]:
     """Compare a fresh report against the committed baseline.
@@ -742,6 +954,8 @@ def check_against_baseline(
         ("partial_repack_efficiency_ratio", min_efficiency_ratio, ""),
         ("skyline_pack_speedup_4096", min_skyline_speedup, "x"),
         ("skyline_stream_efficiency_ratio", min_efficiency_ratio, ""),
+        ("consolidation_memo_speedup_4096", min_consolidation_speedup, "x"),
+        ("consolidation_stream_efficiency_ratio", min_efficiency_ratio, ""),
     ]
     for key, minimum, unit in gates:
         value = derived.get(key)

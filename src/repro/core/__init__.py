@@ -7,6 +7,8 @@
 * :mod:`repro.core.stitching` -- Algorithm 2 (lines 24-39), the
   patch-stitching solver that packs variable-size patches onto fixed-size
   canvases without resizing, padding, rotation or overlap.
+* :mod:`repro.core.canvas` -- the canvas itself: the fixed-size packing
+  surface with its pluggable free-space bookkeeping.
 * :mod:`repro.core.skyline` -- the skyline free-space structure (occupied
   silhouette as x-sorted segments plus recycled waste rectangles) the
   solver's canvases use by default; ``canvas_structure="guillotine"``
@@ -14,6 +16,10 @@
 * :mod:`repro.core.freerect_index` -- the size-class-bucketed index over
   all live free rectangles that keeps the incremental probe sub-linear in
   the number of pending canvases.
+* :mod:`repro.core.consolidation` -- the overflow-consolidation
+  subsystem: the victim efficiency heap, the retry backoff, and the
+  pluggable ``repack`` / ``memo`` / ``merge`` policies behind the
+  ``consolidation=`` knob.
 * :mod:`repro.core.latency` -- the latency estimator (offline profiling,
   slack = mean + 3 sigma).
 * :mod:`repro.core.scheduler` -- the online SLO-aware batching invoker that
@@ -24,6 +30,11 @@
 
 from repro.core.patches import Patch
 from repro.core.partitioning import FramePartitioner, partition_rois
+from repro.core.consolidation import (
+    CONSOLIDATION_POLICIES,
+    ConsolidationEngine,
+    ConsolidationPolicy,
+)
 from repro.core.freerect_index import FreeRectIndex
 from repro.core.skyline import FreeRect, Skyline
 from repro.core.stitching import (
@@ -43,7 +54,10 @@ __all__ = [
     "FramePartitioner",
     "partition_rois",
     "CANVAS_STRUCTURES",
+    "CONSOLIDATION_POLICIES",
     "Canvas",
+    "ConsolidationEngine",
+    "ConsolidationPolicy",
     "FreeRect",
     "FreeRectIndex",
     "Skyline",

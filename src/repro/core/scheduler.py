@@ -207,6 +207,18 @@ class TangramScheduler(BaseScheduler):
         overflow (PR-1 behaviour), ``"canvas"`` re-packs only the
         least-efficient canvas plus the incoming patch — the fleet-scale
         configuration (see :class:`IncrementalStitcher`).
+    consolidation:
+        ``repack_scope="canvas"`` only: the overflow-consolidation policy
+        — ``"memo"`` (default, trial re-packs behind a victim-pool
+        signature cache, byte-identical decisions), ``"repack"`` (the
+        equivalence-pinned from-scratch trial), or ``"merge"``
+        (incremental patch migration).  See
+        :mod:`repro.core.consolidation`.
+    retry_backoff:
+        ``repack_scope="canvas"`` only: arm the linear failed-attempt
+        backoff between consolidation attempts (default true); ``False``
+        retries on every wasteful overflow (the consolidation A/B
+        benchmark configuration).
     use_index:
         Fast path only: answer probes from the size-class
         :class:`~repro.core.freerect_index.FreeRectIndex` instead of the
@@ -244,6 +256,8 @@ class TangramScheduler(BaseScheduler):
         use_index: bool = True,
         max_partial_victims: int = 8,
         partial_patch_budget: int = 48,
+        consolidation: str = "memo",
+        retry_backoff: bool = True,
         full_repack_equivalent: bool = False,
         canvas_structure: str = "skyline",
     ) -> None:
@@ -276,6 +290,8 @@ class TangramScheduler(BaseScheduler):
                 use_index=use_index,
                 max_partial_victims=max_partial_victims,
                 partial_patch_budget=partial_patch_budget,
+                consolidation=consolidation,
+                retry_backoff=retry_backoff,
             )
             if incremental
             else None
@@ -413,3 +429,10 @@ class TangramScheduler(BaseScheduler):
         if self._packer is None:
             return {}
         return self._packer.index_stats
+
+    @property
+    def consolidation_stats(self) -> dict:
+        """Consolidation-engine counters; empty without the fast path."""
+        if self._packer is None:
+            return {}
+        return self._packer.consolidation_stats

@@ -10,15 +10,21 @@ is a best-short-side-fit packer, exactly as the pseudo-code describes:
 * account the remaining space as new free rectangles;
 * if no free rectangle fits, open a new blank canvas.
 
-Two interchangeable free-space structures implement that contract, chosen
-by the ``canvas_structure`` knob (on the solver, the scheduler, and both
-experiment configs): ``"skyline"`` (default — the canvas silhouette as
-x-sorted segments plus recycled waste rectangles, see
-:mod:`repro.core.skyline`) and ``"guillotine"`` (the classic list of
-disjoint free rectangles split along the shorter leftover axis).  The
-skyline's exact O(log n) per-canvas fitness bisect makes deep re-packs
-several times faster; packing metrics stay within 1% of guillotine
-(``tests/test_skyline.py``, ``benchmarks/perf``).
+The module holds the two packers:
+
+* :class:`PatchStitchingSolver` — the batch packer (one ``pack()`` per
+  queue, first-fit-decreasing over the canvases);
+* :class:`IncrementalStitcher` — the online fast path that keeps the
+  packing alive across arrivals (probe/commit, global best-short-side-
+  fit over all live pools, consolidation on wasteful overflow).
+
+Their substrates live in sibling modules: the canvas itself (free-space
+bookkeeping, both the skyline and guillotine structures) in
+:mod:`repro.core.canvas`, the size-class probe index in
+:mod:`repro.core.freerect_index`, and the overflow-consolidation
+subsystem (victim heap, retry backoff, the pluggable
+``repack``/``memo``/``merge`` policies) in
+:mod:`repro.core.consolidation`.
 
 Patches are never resized, padded, rotated, or overlapped -- that is the
 point of the design (resizing costs accuracy, padding costs compute).
@@ -26,315 +32,18 @@ point of the design (resizing costs accuracy, padding costs compute).
 
 from __future__ import annotations
 
-import heapq
 import math
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+# Re-exported for backwards compatibility: the canvas moved to its own
+# module when the consolidation subsystem was extracted, but
+# ``repro.core.stitching.Canvas`` remains the documented import path.
+from repro.core.canvas import CANVAS_STRUCTURES, Canvas, Placement  # noqa: F401
 from repro.core.patches import Patch
 from repro.core.skyline import Skyline
 from repro.video.geometry import Box
-
-#: Valid values of the ``canvas_structure`` knob (solver/scheduler/configs).
-CANVAS_STRUCTURES = ("skyline", "guillotine")
-
-
-@dataclass(frozen=True)
-class Placement:
-    """One patch placed at ``(x, y)`` on a canvas."""
-
-    patch: Patch
-    x: float
-    y: float
-
-    @property
-    def box(self) -> Box:
-        """The area the patch occupies on the canvas."""
-        return Box(self.x, self.y, self.patch.width, self.patch.height)
-
-
-class Canvas:
-    """A fixed-size canvas being filled with patches.
-
-    ``structure`` selects the free-space bookkeeping:
-
-    * ``"guillotine"`` (the constructor default, PR-2 behaviour):
-      ``free_rectangles`` is the guillotine free-space list; it always
-      partitions the unused canvas area into disjoint rectangles.
-    * ``"skyline"`` (what :class:`PatchStitchingSolver` builds by
-      default): free space lives in a :class:`~repro.core.skyline.
-      Skyline` — the occupied silhouette as x-sorted segments plus
-      recycled waste rectangles — and ``free_rectangles`` is the derived
-      candidate list, materialised lazily from the skyline's tuples when
-      someone actually reads it (the hot paths scan the tuples
-      directly).  Consumers are oblivious: ``best_fit``/``place`` use
-      the same ``rect_index`` addressing and the same
-      best-short-side-fit scores either way.
-    """
-
-    __slots__ = (
-        "width",
-        "height",
-        "canvas_id",
-        "oversized",
-        "placements",
-        "structure",
-        "skyline",
-        "_free_rectangles",
-        "_free_stale",
-        "_used_area",
-        "_used_count",
-    )
-
-    def __init__(
-        self,
-        width: float,
-        height: float,
-        canvas_id: int = 0,
-        oversized: bool = False,
-        placements: Optional[List[Placement]] = None,
-        free_rectangles: Optional[List[Box]] = None,
-        structure: str = "guillotine",
-    ) -> None:
-        if width <= 0 or height <= 0:
-            raise ValueError("canvas dimensions must be positive")
-        if structure not in CANVAS_STRUCTURES:
-            raise ValueError(
-                f"structure must be one of {CANVAS_STRUCTURES}, "
-                f"got {structure!r}"
-            )
-        self.width = width
-        self.height = height
-        self.canvas_id = canvas_id
-        #: When true, this canvas was opened specially for a patch larger
-        #: than the configured canvas size (the partitioner can produce
-        #: such patches at coarse granularities); it is sized to that patch.
-        self.oversized = oversized
-        self.placements: List[Placement] = (
-            list(placements) if placements is not None else []
-        )
-        #: Free-space structure: ``"guillotine"`` or ``"skyline"``.
-        self.structure = structure
-        #: The skyline state when ``structure == "skyline"`` (``None`` for
-        #: guillotine canvases) — also the packers' fast-reject handle.
-        self.skyline: Optional[Skyline] = None
-        #: Cached sum of placed patch areas, maintained by :meth:`place` so
-        #: the scheduler's hot path never recomputes ``sum(...)`` over
-        #: placements.  ``_used_count`` detects out-of-band mutation of
-        #: ``placements`` (the corruption tests do this) and triggers a
-        #: recompute.
-        self._used_area = 0.0
-        self._used_count = 0
-        if structure == "skyline":
-            if self.placements or free_rectangles:
-                raise ValueError(
-                    "skyline canvases must be constructed empty; "
-                    "place patches through place()/try_place()"
-                )
-            self.skyline = Skyline(width, height)
-            self._free_rectangles: List[Box] = []
-            self._free_stale = True
-            return
-        self._free_stale = False
-        if free_rectangles is not None:
-            self._free_rectangles = free_rectangles
-        elif not self.placements:
-            self._free_rectangles = [Box(0.0, 0.0, width, height)]
-        else:
-            self._free_rectangles = []
-        if self.placements:
-            self._refresh_used_area()
-
-    def __repr__(self) -> str:
-        return (
-            f"Canvas(width={self.width!r}, height={self.height!r}, "
-            f"canvas_id={self.canvas_id!r}, oversized={self.oversized!r}, "
-            f"structure={self.structure!r}, num_patches={self.num_patches})"
-        )
-
-    @property
-    def free_rectangles(self) -> List[Box]:
-        """The free-space list the packers scan, in ``rect_index`` order.
-
-        Guillotine canvases store it directly; skyline canvases
-        materialise it from :attr:`Skyline.candidates` on first read
-        after a mutation (the scheduler's hot paths never read it — they
-        scan the skyline's tuples — so the object list is only built for
-        the index-free consumers and the test suite).
-        """
-        if self._free_stale:
-            assert self.skyline is not None
-            self._free_rectangles = self.skyline.free_rects()
-            self._free_stale = False
-        return self._free_rectangles
-
-    @free_rectangles.setter
-    def free_rectangles(self, rects: List[Box]) -> None:
-        if self.skyline is not None:
-            # The skyline is the source of truth; accepting the write would
-            # leave reads contradicting every placement decision.
-            raise ValueError(
-                "skyline canvases derive free space from the skyline; "
-                "free_rectangles cannot be assigned"
-            )
-        self._free_rectangles = rects
-        self._free_stale = False
-
-    # ---------------------------------------------------------------- metrics
-    @property
-    def area(self) -> float:
-        return self.width * self.height
-
-    def _refresh_used_area(self) -> float:
-        self._used_area = sum(p.patch.area for p in self.placements)
-        self._used_count = len(self.placements)
-        return self._used_area
-
-    def recompute_used_area(self) -> float:
-        """O(n) recomputation of :attr:`used_area`; the cached value must
-        always agree with it (checked by :meth:`PatchStitchingSolver.
-        validate_packing` as a debug assertion)."""
-        return sum(placement.patch.area for placement in self.placements)
-
-    @property
-    def used_area(self) -> float:
-        """Cached total patch area; place patches via :meth:`place`.
-
-        Length changes to ``placements`` are detected and trigger a
-        recompute, but a same-length replacement bypasses the cache's
-        staleness check — mutate through :meth:`place` (or call
-        :meth:`recompute_used_area`) to keep the cache honest.
-        :meth:`PatchStitchingSolver.validate_packing` cross-checks the
-        cache against a recompute.
-        """
-        if self._used_count != len(self.placements):
-            # ``placements`` was mutated without going through ``place()``;
-            # fall back to a recompute and re-seed the cache.
-            self._refresh_used_area()
-        return self._used_area
-
-    @property
-    def efficiency(self) -> float:
-        """Ratio of total patch area to canvas area (Fig. 10(b), Fig. 13)."""
-        if self.area == 0:
-            return 0.0
-        return self.used_area / self.area
-
-    @property
-    def num_patches(self) -> int:
-        return len(self.placements)
-
-    @property
-    def patches(self) -> List[Patch]:
-        return [placement.patch for placement in self.placements]
-
-    def earliest_deadline(self) -> float:
-        """The tightest deadline among the patches on this canvas."""
-        if not self.placements:
-            return float("inf")
-        return min(placement.patch.deadline for placement in self.placements)
-
-    # --------------------------------------------------------------- stitching
-    def best_fit(self, patch: Patch) -> Optional[Tuple[int, float]]:
-        """Best-short-side-fit ``(rect_index, score)`` for ``patch``, or
-        ``None`` when no free rectangle fits.  Lower scores are better;
-        the incremental packer compares scores across canvases.
-
-        Skyline canvases answer through :meth:`Skyline.best_fit` — the
-        same scan over the same ``free_rectangles`` order, behind an
-        exact O(log n) fast-reject — so scores, indices, and tie-breaks
-        are identical to scanning ``free_rectangles`` directly (the
-        size-class index's exactness pin relies on this).
-        """
-        if self.skyline is not None:
-            return self.skyline.best_fit(patch.width, patch.height)
-        best_index = -1
-        best_score = float("inf")
-        patch_w = patch.width
-        patch_h = patch.height
-        for index, rect in enumerate(self.free_rectangles):
-            if rect.width >= patch_w and rect.height >= patch_h:
-                score = min(rect.width - patch_w, rect.height - patch_h)
-                if score < best_score:
-                    best_score = score
-                    best_index = index
-        if best_index < 0:
-            return None
-        return best_index, best_score
-
-    def find_free_rectangle(self, patch: Patch) -> Optional[int]:
-        """Index of the best-short-side-fit free rectangle, or ``None``."""
-        fit = self.best_fit(patch)
-        return None if fit is None else fit[0]
-
-    def place(self, patch: Patch, rect_index: int) -> Placement:
-        """Place ``patch`` in free rectangle ``rect_index``.
-
-        Guillotine canvases split the leftover space along the shorter
-        axis (guillotine split); skyline canvases raise the silhouette
-        over the patch footprint (or split a waste rectangle) and
-        regenerate the candidate list.
-        """
-        if self.skyline is not None:
-            x, y = self.skyline.place(rect_index, patch.width, patch.height)
-            placement = Placement(patch=patch, x=x, y=y)
-            self.placements.append(placement)
-            self._used_area += patch.area
-            self._used_count += 1
-            self._free_stale = True
-            return placement
-        rect = self.free_rectangles.pop(rect_index)
-        if rect.width < patch.width or rect.height < patch.height:
-            raise ValueError("patch does not fit in the chosen free rectangle")
-        # "Bottom-left" of the free rectangle; with a top-left origin this
-        # is the rectangle's origin corner, which keeps placements packed
-        # toward the canvas origin.
-        placement = Placement(patch=patch, x=rect.x, y=rect.y)
-        self.placements.append(placement)
-        self._used_area += patch.area
-        self._used_count += 1
-
-        leftover_w = rect.width - patch.width
-        leftover_h = rect.height - patch.height
-        # Split along the shorter leftover axis (Algorithm 2 line 32).
-        if leftover_w <= leftover_h:
-            # Right sliver is only as tall as the patch; bottom strip spans
-            # the full free-rectangle width.
-            right = Box(rect.x + patch.width, rect.y, leftover_w, patch.height)
-            bottom = Box(rect.x, rect.y + patch.height, rect.width, leftover_h)
-        else:
-            # Bottom sliver only as wide as the patch; right strip spans the
-            # full free-rectangle height.
-            right = Box(rect.x + patch.width, rect.y, leftover_w, rect.height)
-            bottom = Box(rect.x, rect.y + patch.height, patch.width, leftover_h)
-        for candidate in (right, bottom):
-            if candidate.width > 0.5 and candidate.height > 0.5:
-                self._add_free_rectangle(candidate)
-        return placement
-
-    def _add_free_rectangle(self, candidate: Box) -> None:
-        """Insert a free rectangle, keeping the pool minimal.
-
-        A pure guillotine split never produces nested free rectangles (the
-        pool partitions the unused area), but the incremental packer keeps
-        pools alive across many arrivals; pruning contained rectangles here
-        keeps the pool minimal and the per-arrival scan short regardless of
-        how the pool was produced.
-        """
-        pool = self.free_rectangles
-        for rect in pool:
-            if rect.contains_box(candidate):
-                return
-        pool[:] = [rect for rect in pool if not candidate.contains_box(rect)]
-        pool.append(candidate)
-
-    def try_place(self, patch: Patch) -> Optional[Placement]:
-        """Place the patch if any free rectangle fits it."""
-        index = self.find_free_rectangle(patch)
-        if index is None:
-            return None
-        return self.place(patch, index)
 
 
 class PatchStitchingSolver:
@@ -408,7 +117,7 @@ class PatchStitchingSolver:
         """Like :meth:`pack`, but give up as soon as the packing would need
         more than ``max_canvases`` canvases and return ``None``.
 
-        The partial re-pack planner only adopts a trial re-pack that
+        The consolidation planner only adopts a trial re-pack that
         *consolidates* (needs at most as many canvases as it dissolves),
         so a trial that overflows the victim count is dead on arrival —
         aborting it at the moment the ``max_canvases + 1``-th canvas
@@ -590,9 +299,11 @@ class PlacementPlan:
     patch: Patch
     #: ``"fit"`` (placed into an existing canvas), ``"new"`` (opens a blank
     #: canvas), ``"oversized"`` (opens a dedicated oversized canvas),
-    #: ``"repack"`` (the whole queue was re-packed from scratch), or
-    #: ``"partial"`` (only the least-efficient canvas was re-packed
-    #: together with the incoming patch).
+    #: ``"repack"`` (the whole queue was re-packed from scratch),
+    #: ``"partial"`` (only the least-efficient canvases were re-packed
+    #: together with the incoming patch), or ``"merge"`` (the worst
+    #: canvas's patches migrate into siblings and the emptied canvas is
+    #: reused for the incoming patch).
     kind: str
     #: Canvas count if the plan is committed (GPU-memory constraint input).
     canvases_after: int
@@ -602,11 +313,18 @@ class PlacementPlan:
     rect_index: int = -1
     #: For ``kind == "repack"``: the already-computed packing of the whole
     #: queue.  For ``kind == "partial"``: the replacement canvases of the
-    #: re-packed victims (always fewer than ``victims + 1``).
+    #: re-packed victims (always fewer than ``victims + 1``).  For
+    #: ``kind == "merge"``: the single fresh canvas holding the incoming
+    #: patch that replaces the emptied victim.
     repacked: Optional[List[Canvas]] = None
-    #: Only for ``kind == "partial"``: indices of the canvases being
-    #: dissolved into ``repacked`` (the least-efficient ones first).
+    #: For ``kind == "partial"``: indices of the canvases being dissolved
+    #: into ``repacked`` (the least-efficient ones first).  For
+    #: ``kind == "merge"``: the single emptied canvas's index.
     victim_indices: Optional[List[int]] = None
+    #: Only for ``kind == "merge"``: the ``(canvas_index, rect_index,
+    #: patch)`` sequence migrating the victim's patches into siblings,
+    #: replayed in order at commit time.
+    migrations: Optional[List[Tuple[int, int, Patch]]] = None
 
 
 class IncrementalStitcher:
@@ -649,21 +367,34 @@ class IncrementalStitcher:
     repack_scope:
         ``"queue"`` (default): a wasteful overflow re-packs the whole
         queue, as in PR 1 — best packing quality, but O(queue) per
-        re-pack.  ``"canvas"``: re-pack only the few *least-efficient*
-        live canvases (up to :attr:`max_partial_victims`) together with
-        the incoming patch — O(a few canvases) per re-pack, which keeps
-        the overflow path flat at fleet-scale queue depths.  A partial
-        re-pack is only adopted when it saves at least one canvas over
-        not re-packing at all, so the decision never lowers mean canvas
+        re-pack.  ``"canvas"``: consolidate only the few
+        *least-efficient* live canvases (up to :attr:`max_partial_
+        victims`) — O(a few canvases) per overflow, which keeps the
+        overflow path flat at fleet-scale queue depths.  A consolidation
+        is only adopted when it saves at least one canvas over not
+        consolidating at all, so the decision never lowers mean canvas
         efficiency versus the no-re-pack alternative.
+    consolidation:
+        ``repack_scope="canvas"`` only: the consolidation policy —
+        ``"memo"`` (default; trial re-packs behind a victim-pool
+        signature cache, decisions byte-identical to ``"repack"``),
+        ``"repack"`` (PR-2/3's from-scratch trial re-pack, the
+        equivalence-pinned mode), or ``"merge"`` (incremental patch
+        migration with a ``"repack"`` fallback; metrics may drift within
+        the benchmark gates).  See :mod:`repro.core.consolidation`.
+    retry_backoff:
+        ``repack_scope="canvas"`` only: arm the linear failed-attempt
+        backoff (default true, the PR-2 behaviour).  ``False`` retries
+        consolidation on every wasteful overflow — pair it with
+        ``"memo"``, whose signature cache subsumes the growth gate.
     max_partial_victims:
         ``repack_scope="canvas"`` only: how many of the least-efficient
-        canvases a partial re-pack may dissolve at once.  Larger values
+        canvases one consolidation may dissolve at once.  Larger values
         consolidate harder (tracking the batch packer more closely) at a
         per-overflow cost that grows with the victims' patch count.
     partial_patch_budget:
         ``repack_scope="canvas"`` only: cap on the pooled patch count a
-        partial re-pack may re-pack in one go (the trial re-pack's cost
+        consolidation may re-pack in one go (the trial re-pack's cost
         bound).  On small queues the victims cover nearly the whole queue
         within this budget, so partial re-packs approach batch quality;
         on deep queues the budget keeps the overflow path O(1)-ish.
@@ -695,6 +426,8 @@ class IncrementalStitcher:
         use_index: bool = True,
         max_partial_victims: int = 8,
         partial_patch_budget: int = 48,
+        consolidation: str = "memo",
+        retry_backoff: bool = True,
     ) -> None:
         if drift_margin < 0:
             raise ValueError("drift_margin must be non-negative")
@@ -712,9 +445,7 @@ class IncrementalStitcher:
         self.repack_scope = repack_scope
         self.max_partial_victims = max_partial_victims
         self.partial_patch_budget = partial_patch_budget
-        #: Failed-consolidation backoff state (probe bookkeeping).
-        self._partial_failures = 0
-        self._partial_retry_size = 0
+        self.consolidation = consolidation
         # Full-repack-equivalent mode never probes the pools, so the index
         # would only be maintenance overhead there.
         self._index: Optional["FreeRectIndex"] = None
@@ -736,20 +467,19 @@ class IncrementalStitcher:
             "oversized_canvases": 0,
             "full_repacks": 0,
             "partial_repacks": 0,
+            "merges": 0,
             "resets": 0,
         }
         self._patches: List[Patch] = []
         self._canvases: List[Canvas] = []
-        #: Running min-heap of ``(efficiency, canvas_index, stamp)`` over
-        #: the live non-oversized canvases, so ``_plan_partial_repack``
-        #: pops its victims in ascending-efficiency order instead of
-        #: rescanning every canvas per overflow (the ROADMAP's second
-        #: named bottleneck).  Entries are invalidated lazily: a slot
-        #: mutation bumps ``_eff_stamp[slot]`` and pushes a fresh entry;
-        #: stale entries are dropped when popped.  Slot deletions shift
-        #: later indices and force a rebuild, exactly like the index.
-        self._eff_heap: List[Tuple[float, int, int]] = []
-        self._eff_stamp: List[int] = []
+        # The consolidation engine owns the efficiency heap, the retry
+        # backoff, and the policy (raises on an unknown policy name).
+        from repro.core.consolidation import ConsolidationEngine
+
+        self._consolidation = ConsolidationEngine(
+            self, policy=consolidation, retry_backoff=retry_backoff
+        )
+        self._consolidation.rebuild()
         if self._index is not None:
             # Attach the (identity-stable) canvas list now: compaction
             # re-walks it, and every later mutation is either in place or
@@ -801,6 +531,12 @@ class IncrementalStitcher:
             return {}
         return dict(self._index.stats)
 
+    @property
+    def consolidation_stats(self) -> dict:
+        """Counters of the consolidation engine (attempts, trial packs,
+        pre-check and memo rejections, merges)."""
+        return dict(self._consolidation.stats)
+
     # ------------------------------------------------------------ probe/commit
     def probe(self, patch: Patch) -> PlacementPlan:
         """Plan the placement of ``patch`` without mutating any state."""
@@ -847,21 +583,9 @@ class IncrementalStitcher:
                 # past that, consolidate only the worst canvases.
                 if len(self._patches) + 1 <= self.partial_patch_budget:
                     return self._full_repack_plan(patch)
-                # Linear backoff after failed consolidation attempts: a
-                # queue that just refused to consolidate will refuse again
-                # until it has changed, so retry only after the queue grew
-                # by the current failure streak.  (Probe bookkeeping only —
-                # placement decisions are unaffected; reset clears it.)
-                if len(self._patches) >= self._partial_retry_size:
-                    plan = self._plan_partial_repack(patch)
-                    if plan is not None:
-                        self._partial_failures = 0
-                        self._partial_retry_size = 0
-                        return plan
-                    self._partial_failures += 1
-                    self._partial_retry_size = (
-                        len(self._patches) + self._partial_failures
-                    )
+                plan = self._consolidation.plan(patch)
+                if plan is not None:
+                    return plan
             else:
                 return self._full_repack_plan(patch)
         return PlacementPlan(
@@ -904,78 +628,6 @@ class IncrementalStitcher:
             return None
         return best_canvas, best_rect, best_score
 
-    def _plan_partial_repack(self, patch: Patch) -> Optional[PlacementPlan]:
-        """Re-pack only the least-efficient canvas together with ``patch``.
-
-        The victim set is grown greedily over the least-efficient standard
-        canvases, bounded by :attr:`max_partial_victims` and by
-        :attr:`partial_patch_budget` pooled patches (which caps the cost of
-        the single trial re-pack) — so on a *small* queue the victims cover
-        nearly everything and a partial re-pack approaches batch quality,
-        while on a fleet-scale queue the work stays O(a few canvases).  The
-        re-pack is adopted only when it *consolidates*: the replacement
-        needs at most ``len(victims)`` canvases, i.e. at least one canvas
-        is saved over the ``"new"`` alternative.  Returns ``None`` when no
-        standard canvas exists, the victims' free space cannot possibly
-        absorb the patch, or the trial re-pack does not consolidate
-        (caller falls back to opening a new canvas) — so a partial re-pack
-        never leaves the packing with more canvases — hence never lower
-        mean canvas efficiency — than not re-packing at all.
-
-        Victims come off the running efficiency min-heap in ascending
-        ``(efficiency, canvas_index)`` order — the same order the former
-        per-overflow rescan-and-sort produced (pinned by
-        ``tests/test_skyline.py``) at O(victims log canvases) instead of
-        O(canvases log canvases) per overflow.  Stale heap entries are
-        dropped for good; valid ones popped here are pushed back before
-        returning, because a probe must not consume state.
-        """
-        heap = self._eff_heap
-        stamps = self._eff_stamp
-        canvas_area = self.solver.canvas_area
-        pool: List[Patch] = [patch]
-        pool_used = 0.0
-        victim_indices: List[int] = []
-        popped: List[Tuple[float, int, int]] = []
-        while heap and len(victim_indices) < self.max_partial_victims:
-            if len(pool) >= self.partial_patch_budget:
-                # Every canvas holds at least one patch, so no remaining
-                # candidate can fit the budget — same decisions as
-                # scanning on, minus the scan.
-                break
-            entry = heapq.heappop(heap)
-            if entry[2] != stamps[entry[1]]:
-                continue  # stale: the slot mutated after this was pushed
-            popped.append(entry)
-            canvas = self._canvases[entry[1]]
-            if len(pool) + canvas.num_patches > self.partial_patch_budget:
-                # This victim alone would blow the budget, but a later,
-                # sparser candidate may still fit it.
-                continue
-            pool.extend(canvas.patches)
-            pool_used += canvas.used_area
-            victim_indices.append(entry[1])
-        for entry in popped:
-            heapq.heappush(heap, entry)
-        if not victim_indices:
-            return None
-        # Necessary condition for consolidation: the victims' combined
-        # free space must at least hold the incoming patch.
-        if len(victim_indices) * canvas_area - pool_used < patch.area:
-            return None
-        repacked = self.solver.pack_within(pool, len(victim_indices))
-        if repacked is None:
-            return None
-        delta = len(repacked) - len(victim_indices)
-        return PlacementPlan(
-            patch=patch,
-            kind="partial",
-            canvases_after=len(self._canvases) + delta,
-            equivalent_after=self._equivalent + delta,
-            repacked=repacked,
-            victim_indices=victim_indices,
-        )
-
     def _should_repack_on_overflow(self, patch: Patch) -> bool:
         """Opening a canvas despite ample free space signals drift."""
         if self._active_count == 0:
@@ -984,7 +636,7 @@ class IncrementalStitcher:
         if free < (1.0 + self.drift_margin) * patch.area:
             return False  # the live canvases are genuinely full
         if self.repack_scope == "canvas":
-            # A partial re-pack costs O(one canvas), so it needs no
+            # A consolidation costs O(a few canvases), so it needs no
             # geometric spacing — intervene on every wasteful overflow.
             return True
         # Growth gate: re-pack only once the queue grew ~25% beyond the
@@ -1007,39 +659,9 @@ class IncrementalStitcher:
                 self.stats["full_repacks"] += 1
             return self._canvases
         if plan.kind == "partial":
-            assert plan.repacked is not None and plan.victim_indices
-            replacements = plan.repacked
-            victim_indices = plan.victim_indices
-            for canvas in replacements:
-                canvas.canvas_id = self._next_id
-                self._next_id += 1
-            # Replace victims slot-for-slot (so untouched canvases keep
-            # their indices and index entries stay valid); a consolidating
-            # re-pack has fewer replacements than victims, so the leftover
-            # victim slots are deleted, which shifts later indices and
-            # forces a full index rebuild.
-            reused = victim_indices[: len(replacements)]
-            for slot, canvas in zip(reused, replacements):
-                self._canvases[slot] = canvas
-            removed = sorted(victim_indices[len(replacements) :], reverse=True)
-            for slot in removed:
-                del self._canvases[slot]
-            self._active_count += len(replacements) - len(victim_indices)
-            self._active_used += patch.area
-            self._equivalent = plan.equivalent_after
-            self.stats["partial_repacks"] += 1
-            if removed:
-                self._rebuild_efficiency_heap()
-            else:
-                for slot in reused:
-                    self._touch_canvas_efficiency(slot)
-            if self._index is not None:
-                if removed:
-                    self._index.rebuild(self._canvases)
-                else:
-                    for slot, canvas in zip(reused, replacements):
-                        self._index.reindex_canvas(slot, canvas)
-            return self._canvases
+            return self._commit_partial(plan)
+        if plan.kind == "merge":
+            return self._commit_merge(plan)
         if plan.kind == "oversized":
             canvas = Canvas(
                 width=patch.width,
@@ -1053,7 +675,7 @@ class IncrementalStitcher:
             self._canvases.append(canvas)
             self._equivalent = plan.equivalent_after
             self.stats["oversized_canvases"] += 1
-            self._touch_canvas_efficiency(len(self._canvases) - 1)
+            self._consolidation.touch(len(self._canvases) - 1)
             if self._index is not None:
                 self._index.reindex_canvas(len(self._canvases) - 1, canvas)
             return self._canvases
@@ -1072,7 +694,7 @@ class IncrementalStitcher:
             self._active_count += 1
             self._active_used += patch.area
             self.stats["new_canvases"] += 1
-            self._touch_canvas_efficiency(len(self._canvases) - 1)
+            self._consolidation.touch(len(self._canvases) - 1)
             if self._index is not None:
                 self._index.reindex_canvas(len(self._canvases) - 1, canvas)
         else:  # "fit"
@@ -1080,9 +702,74 @@ class IncrementalStitcher:
             canvas.place(patch, plan.rect_index)
             self._active_used += patch.area
             self.stats["incremental_placements"] += 1
-            self._touch_canvas_efficiency(plan.canvas_index)
+            self._consolidation.touch(plan.canvas_index)
             if self._index is not None:
                 self._index.reindex_canvas(plan.canvas_index, canvas)
+        return self._canvases
+
+    def _commit_partial(self, plan: PlacementPlan) -> List[Canvas]:
+        """Adopt a consolidating trial re-pack: replace the victim slots
+        with the replacement canvases."""
+        assert plan.repacked is not None and plan.victim_indices
+        replacements = plan.repacked
+        victim_indices = plan.victim_indices
+        for canvas in replacements:
+            canvas.canvas_id = self._next_id
+            self._next_id += 1
+        # Replace victims slot-for-slot (so untouched canvases keep
+        # their indices and index entries stay valid); a consolidating
+        # re-pack has fewer replacements than victims, so the leftover
+        # victim slots are deleted, which shifts later indices and
+        # forces a full index rebuild.
+        reused = victim_indices[: len(replacements)]
+        for slot, canvas in zip(reused, replacements):
+            self._canvases[slot] = canvas
+        removed = sorted(victim_indices[len(replacements) :], reverse=True)
+        for slot in removed:
+            del self._canvases[slot]
+        self._active_count += len(replacements) - len(victim_indices)
+        self._active_used += plan.patch.area
+        self._equivalent = plan.equivalent_after
+        self.stats["partial_repacks"] += 1
+        if removed:
+            self._consolidation.rebuild()
+        else:
+            for slot in reused:
+                self._consolidation.touch(slot)
+        if self._index is not None:
+            if removed:
+                self._index.rebuild(self._canvases)
+            else:
+                for slot, canvas in zip(reused, replacements):
+                    self._index.reindex_canvas(slot, canvas)
+        return self._canvases
+
+    def _commit_merge(self, plan: PlacementPlan) -> List[Canvas]:
+        """Adopt a merge plan: replay the planned migrations on the real
+        canvases, then reuse the emptied victim slot for the fresh canvas
+        holding the incoming patch.  The canvas count is unchanged (one
+        fewer than the ``"new"`` alternative); migrations move patch area
+        between live canvases, so only the incoming patch changes the
+        drift bookkeeping."""
+        assert plan.repacked is not None and plan.victim_indices
+        assert plan.migrations is not None
+        canvases = self._canvases
+        for slot, rect_index, migrant in plan.migrations:
+            canvases[slot].place(migrant, rect_index)
+        replacement = plan.repacked[0]
+        replacement.canvas_id = self._next_id
+        self._next_id += 1
+        victim_slot = plan.victim_indices[0]
+        canvases[victim_slot] = replacement
+        self._active_used += plan.patch.area
+        self._equivalent = plan.equivalent_after
+        self.stats["merges"] += 1
+        touched = {slot for slot, _rect, _p in plan.migrations}
+        touched.add(victim_slot)
+        for slot in touched:
+            self._consolidation.touch(slot)
+            if self._index is not None:
+                self._index.reindex_canvas(slot, canvases[slot])
         return self._canvases
 
     def add(self, patch: Patch) -> List[Canvas]:
@@ -1108,36 +795,6 @@ class IncrementalStitcher:
         )
         self._active_count = sum(1 for canvas in canvases if not canvas.oversized)
         self._last_repack_size = len(self._patches)
-        self._partial_failures = 0
-        self._partial_retry_size = 0
-        self._rebuild_efficiency_heap()
+        self._consolidation.rebuild()
         if self._index is not None:
             self._index.rebuild(self._canvases)
-
-    def _rebuild_efficiency_heap(self) -> None:
-        """Re-seed the efficiency heap from the live canvas list."""
-        self._eff_stamp = [0] * len(self._canvases)
-        heap = [
-            (canvas.efficiency, index, 0)
-            for index, canvas in enumerate(self._canvases)
-            if not canvas.oversized
-        ]
-        heapq.heapify(heap)
-        self._eff_heap = heap
-
-    def _touch_canvas_efficiency(self, index: int) -> None:
-        """Record a mutation of canvas slot ``index``: invalidate its old
-        heap entries and push one with the current efficiency."""
-        if self.repack_scope != "canvas":
-            # Only _plan_partial_repack reads the heap; don't grow it by
-            # one tuple per arrival on configurations that never consult it.
-            return
-        stamps = self._eff_stamp
-        while len(stamps) <= index:
-            stamps.append(0)
-        stamps[index] += 1
-        canvas = self._canvases[index]
-        if not canvas.oversized:
-            heapq.heappush(
-                self._eff_heap, (canvas.efficiency, index, stamps[index])
-            )

@@ -86,6 +86,9 @@ class TangramConfig:
     #: Overflow re-pack scope: ``"queue"`` (whole queue, PR-1 behaviour) or
     #: ``"canvas"`` (only the least-efficient canvas — fleet scale).
     scheduler_repack_scope: str = "queue"
+    #: Consolidation policy for ``"canvas"`` scope: ``"memo"`` (default),
+    #: ``"repack"``, or ``"merge"`` (see :mod:`repro.core.consolidation`).
+    scheduler_consolidation: str = "memo"
     #: Probe via the size-class free-rectangle index (identical decisions).
     scheduler_use_index: bool = True
     #: Canvas free-space structure: ``"skyline"`` (default) or
@@ -208,5 +211,6 @@ class Tangram:
             incremental=self.config.scheduler_incremental,
             drift_margin=self.config.scheduler_drift_margin,
             repack_scope=self.config.scheduler_repack_scope,
+            consolidation=self.config.scheduler_consolidation,
             use_index=self.config.scheduler_use_index,
         )

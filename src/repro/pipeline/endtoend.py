@@ -29,6 +29,7 @@ from repro.baselines.mark import MArkScheduler
 from repro.core.partitioning import FramePartitioner
 from repro.core.scheduler import BaseScheduler, BatchRecord, PatchOutcome, TangramScheduler
 from repro.core.latency import LatencyEstimator
+from repro.core.consolidation import CONSOLIDATION_POLICIES
 from repro.core.stitching import CANVAS_STRUCTURES, PatchStitchingSolver
 from repro.network.encoding import FrameEncoder
 from repro.network.link import Uplink
@@ -76,6 +77,10 @@ class EndToEndConfig:
     #: Overflow re-pack scope: ``"queue"`` (whole queue, PR-1 behaviour)
     #: or ``"canvas"`` (only the least-efficient canvas — fleet scale).
     scheduler_repack_scope: str = "queue"
+    #: Consolidation policy for ``"canvas"`` scope: ``"memo"`` (default;
+    #: byte-identical to ``"repack"``), ``"repack"``, or ``"merge"``
+    #: (see :mod:`repro.core.consolidation`).
+    scheduler_consolidation: str = "memo"
     #: Answer probes from the size-class free-rectangle index instead of
     #: the linear scan (placement decisions are identical either way).
     scheduler_use_index: bool = True
@@ -98,6 +103,12 @@ class EndToEndConfig:
             raise ValueError(
                 f"unknown canvas_structure {self.canvas_structure!r}; "
                 f"valid: {CANVAS_STRUCTURES}"
+            )
+        if self.scheduler_consolidation not in CONSOLIDATION_POLICIES:
+            raise ValueError(
+                f"unknown scheduler_consolidation "
+                f"{self.scheduler_consolidation!r}; "
+                f"valid: {CONSOLIDATION_POLICIES}"
             )
 
 
@@ -263,6 +274,7 @@ class EndToEndRunner:
                 incremental=config.scheduler_incremental,
                 drift_margin=config.scheduler_drift_margin,
                 repack_scope=config.scheduler_repack_scope,
+                consolidation=config.scheduler_consolidation,
                 use_index=config.scheduler_use_index,
                 full_repack_equivalent=config.scheduler_full_repack_equivalent,
             )

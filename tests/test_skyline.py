@@ -375,8 +375,8 @@ class TestEfficiencyHeap:
             stitcher.add(patch)
         valid = sorted(
             (eff, index)
-            for eff, index, stamp in stitcher._eff_heap
-            if stamp == stitcher._eff_stamp[index]
+            for eff, index, stamp in stitcher._consolidation._heap
+            if stamp == stitcher._consolidation._stamps[index]
         )
         expected = sorted(
             (canvas.efficiency, index)
