@@ -110,6 +110,14 @@ def main(argv=None) -> int:
         "consolidation speedup drops below this (default 1.5)",
     )
     parser.add_argument(
+        "--min-canvas-index-speedup",
+        type=float,
+        default=1.3,
+        help="--check fails when the depth-4096 canvas-admission-index "
+        "(+ adaptive budget) speedup over the PR-4 fleet path drops "
+        "below this (default 1.3)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the instrumented arrival-path profile (per-stage time "
@@ -216,6 +224,7 @@ def main(argv=None) -> int:
             min_efficiency_ratio=args.min_efficiency_ratio,
             min_skyline_speedup=args.min_skyline_speedup,
             min_consolidation_speedup=args.min_consolidation_speedup,
+            min_canvas_index_speedup=args.min_canvas_index_speedup,
             ratios_only=args.ratios_only,
         )
         if failures:

@@ -317,6 +317,9 @@ def _bench_deep_arrival(
     index_stats = scheduler.index_stats
     if index_stats:
         meta["index_stats"] = index_stats
+    canvas_index_stats = scheduler.canvas_index_stats
+    if canvas_index_stats:
+        meta["canvas_index_stats"] = canvas_index_stats
     consolidation_stats = scheduler.consolidation_stats
     if consolidation_stats and consolidation_stats.get("attempts"):
         meta["consolidation_stats"] = consolidation_stats
@@ -406,6 +409,28 @@ def bench_arrival_fleet_guillotine_4096() -> BenchResult:
         use_index=True,
         repack_scope="canvas",
         canvas_structure="guillotine",
+    )
+
+
+def bench_arrival_canvasindex_4096() -> BenchResult:
+    """The arrival-path capstone at depth 4096: the canvas admission
+    index (one vectorised capability summary per canvas instead of the
+    per-rectangle bucket index) plus adaptive re-pack budgets (the
+    consolidation budget ramps floor-to-knob with the overflow streak
+    once the queue is fleet-deep), on the same fleet mix as
+    ``scheduler_arrival_fleet_4096`` — the gated pair's fast arm
+    (``canvas_index_speedup_4096`` >= 1.3x over that PR-4 path).
+    Canvas-index decisions alone are byte-identical to the PR-4 arm
+    (pinned by ``tests/test_canvas_index.py``); the headroom past par
+    comes from the budget ramp, whose quality drift the
+    ``canvas_index_stream_efficiency_ratio`` gate bounds."""
+    return _bench_deep_arrival(
+        "scheduler_arrival_canvasindex_4096",
+        _make_patches(4096, seed=19),
+        use_index=False,
+        canvas_index=True,
+        adaptive_budget=True,
+        repack_scope="canvas",
     )
 
 
@@ -584,6 +609,22 @@ def bench_stream_partial_guillotine_2048() -> BenchResult:
     )
 
 
+def bench_stream_canvasindex_2048() -> BenchResult:
+    """The realistic stream under the capstone configuration (canvas
+    admission index + adaptive budgets).  Its mean canvas efficiency
+    against ``scheduler_stream_partial_2048`` is the committed
+    ``canvas_index_stream_efficiency_ratio`` (gated at >= 0.99): the
+    index is byte-identical and the budget ramp only engages on
+    fleet-deep queues, so at this stream's ~100-patch depths the
+    decisions — hence the ratio — should stay exactly 1.0."""
+    return _bench_scheduler_stream(
+        "scheduler_stream_canvasindex_2048",
+        repack_scope="canvas",
+        canvas_index=True,
+        adaptive_budget=True,
+    )
+
+
 def bench_stream_merge_2048() -> BenchResult:
     """The same realistic stream under ``consolidation="merge"``: its
     mean canvas efficiency against the memo/repack-decisions stream
@@ -699,6 +740,7 @@ SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "scheduler_arrival_pr1_4096": bench_arrival_pr1_4096,
     "scheduler_arrival_fleet_4096": bench_arrival_fleet_4096,
     "scheduler_arrival_fleet_guillotine_4096": bench_arrival_fleet_guillotine_4096,
+    "scheduler_arrival_canvasindex_4096": bench_arrival_canvasindex_4096,
     "stitching_fleet_repack_guillotine_4096": bench_fleet_repack_guillotine,
     "stitching_fleet_repack_skyline_4096": bench_fleet_repack_skyline,
     "scheduler_arrival_heavytail_1024": bench_arrival_heavytail_1024,
@@ -710,6 +752,7 @@ SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "scheduler_stream_batchpack_2048": bench_stream_batch_packer_2048,
     "scheduler_stream_partial_2048": bench_stream_partial_repack_2048,
     "scheduler_stream_partial_guillotine_2048": bench_stream_partial_guillotine_2048,
+    "scheduler_stream_canvasindex_2048": bench_stream_canvasindex_2048,
     "scheduler_stream_merge_2048": bench_stream_merge_2048,
     "gmm_frame_loop": bench_gmm_frame_loop,
     "end_to_end_small": bench_end_to_end,
@@ -850,6 +893,11 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
     fleet = _ratio("scheduler_arrival_pr1_4096", "scheduler_arrival_fleet_4096")
     if fleet is not None:
         derived["arrival_fleet_speedup_4096"] = fleet
+    canvasindex = _ratio(
+        "scheduler_arrival_fleet_4096", "scheduler_arrival_canvasindex_4096"
+    )
+    if canvasindex is not None:
+        derived["canvas_index_speedup_4096"] = canvasindex
     for depth in (1024, 4096):
         ratio = _ratio(
             f"scheduler_arrival_consolidation_repack_{depth}",
@@ -881,6 +929,16 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
         if guillotine_eff > 0:
             derived["skyline_stream_efficiency_ratio"] = round(
                 skyline_eff / guillotine_eff, 4
+            )
+    canvasindex_stream = sections.get("scheduler_stream_canvasindex_2048")
+    if partial and canvasindex_stream:
+        reference_eff = float(partial["meta"].get("mean_canvas_efficiency", 0.0))
+        capstone_eff = float(
+            canvasindex_stream["meta"].get("mean_canvas_efficiency", 0.0)
+        )
+        if reference_eff > 0:
+            derived["canvas_index_stream_efficiency_ratio"] = round(
+                capstone_eff / reference_eff, 4
             )
     merge_stream = sections.get("scheduler_stream_merge_2048")
     if partial and merge_stream:
@@ -915,6 +973,7 @@ def check_against_baseline(
     min_efficiency_ratio: float = 0.99,
     min_skyline_speedup: float = 2.0,
     min_consolidation_speedup: float = 1.5,
+    min_canvas_index_speedup: float = 1.3,
     ratios_only: bool = False,
 ) -> List[str]:
     """Compare a fresh report against the committed baseline.
@@ -956,6 +1015,8 @@ def check_against_baseline(
         ("skyline_stream_efficiency_ratio", min_efficiency_ratio, ""),
         ("consolidation_memo_speedup_4096", min_consolidation_speedup, "x"),
         ("consolidation_stream_efficiency_ratio", min_efficiency_ratio, ""),
+        ("canvas_index_speedup_4096", min_canvas_index_speedup, "x"),
+        ("canvas_index_stream_efficiency_ratio", min_efficiency_ratio, ""),
     ]
     for key, minimum, unit in gates:
         value = derived.get(key)

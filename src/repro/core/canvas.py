@@ -271,15 +271,21 @@ class Canvas:
         are identical to scanning ``free_rectangles`` directly (the
         size-class index's exactness pin relies on this).
         """
+        return self.best_fit_size(patch.width, patch.height)
+
+    def best_fit_size(
+        self, patch_width: float, patch_height: float
+    ) -> Optional[Tuple[int, float]]:
+        """:meth:`best_fit` by dimensions, for callers without a
+        :class:`~repro.core.patches.Patch` in hand (the canvas admission
+        index probes summaries-first and only then asks the canvas)."""
         if self.skyline is not None:
-            return self.skyline.best_fit(patch.width, patch.height)
+            return self.skyline.best_fit(patch_width, patch_height)
         best_index = -1
         best_score = float("inf")
-        patch_w = patch.width
-        patch_h = patch.height
         for index, rect in enumerate(self.free_rectangles):
-            if rect.width >= patch_w and rect.height >= patch_h:
-                score = min(rect.width - patch_w, rect.height - patch_h)
+            if rect.width >= patch_width and rect.height >= patch_height:
+                score = min(rect.width - patch_width, rect.height - patch_height)
                 if score < best_score:
                     best_score = score
                     best_index = index

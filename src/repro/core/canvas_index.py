@@ -1,0 +1,346 @@
+"""Fleet-scale canvas admission index (the probe's canvas-pruning shape).
+
+The size-class :class:`~repro.core.freerect_index.FreeRectIndex` buckets
+every live free *rectangle*; at fleet scale that is thousands of entries
+whose maintenance (one re-insert per rectangle per mutation, periodic
+compaction walks over every pool) grows with packing fragmentation, and
+the PR-3 skyline's own O(log n) per-canvas fitness bisect already made
+the un-indexed linear sweep nearly as fast at queue depths <= 1024.  The
+ROADMAP names the better shape at fleet scale: an index that prunes
+*canvases*, not rectangles.
+
+:class:`CanvasAdmissionIndex` keeps one **capability summary** per live
+canvas: its *fit profile* — for every half-octave height class ``hc``,
+the maximum free-rectangle width among the canvas's candidates at least
+:func:`height_class_lower_bound` ``(hc)`` tall.  For skyline canvases
+the profile is read straight off
+the ``fit_heights``/``fit_maxw`` bisect structures the canvas already
+maintains (one two-pointer walk, no bisects); guillotine canvases take
+one O(pool) scan.  The profile is an exact class-compression of the
+canvas's fitness test, and therefore an **upper bound on true fit**: a
+``w x h`` patch fits the canvas only if ``profile[height_class(h)] >=
+w`` (the converse can fail within one height class — the admitting
+candidate may be between the class's lower bound and ``h`` tall — so
+admitted canvases are still probed exactly).
+
+The profiles live in one dense ``(num_slots, num_classes)`` array, so a
+probe *admits* canvases with a single vectorised column comparison —
+every non-admitting canvas in the fleet is skipped without its
+rectangles, its skyline, or even a per-canvas Python branch being
+touched.  Admitted canvases (typically a handful) answer through their
+own exact best-short-side-fit, visited in ascending slot order with the
+linear sweep's strict ``<``, so the winner is the lexicographic minimum
+of ``(score, canvas_index, rect_index)`` — **byte-identical** to
+:meth:`~repro.core.stitching.IncrementalStitcher.linear_best_fit`,
+pinned by ``tests/test_canvas_index.py``.
+
+Maintenance mirrors the :class:`FreeRectIndex` contract but is O(16)
+per mutation: ``reindex_canvas`` overwrites the slot's profile row in
+place under a bumped version stamp, so — unlike the rectangle index's
+lazily-dropped bucket entries — a stale summary can never serve a
+decision (the stamp exists to make that observable: every row is
+exactly the profile written at its stamp's bump, and
+:meth:`check_invariants` re-derives it).  A full :meth:`rebuild` after
+a slot-deleting consolidation is O(canvases), not O(rectangles), which
+is what keeps consolidating commits cheap at fleet scale.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.freerect_index import size_class
+
+if TYPE_CHECKING:  # pragma: no cover - only stitching imports us at runtime
+    from repro.core.canvas import Canvas
+
+__all__ = [
+    "NUM_CLASSES",
+    "CanvasAdmissionIndex",
+    "canvas_envelope",
+    "fit_profile",
+    "height_class",
+    "height_class_lower_bound",
+]
+
+#: Height classes a fit profile distinguishes.  Classes advance in
+#: half-octaves (``sqrt(2)`` steps: 0, 2, 2.83, 4, 5.66, 8, ...),
+#: twice the resolution of the rectangle index's power-of-two classes —
+#: at power-of-two granularity a 300 px-tall candidate admits a 394 px
+#: demand (same class), which is exactly the looseness that let doomed
+#: drains through the stall predictor.  The last class is unbounded
+#: above and taller than any realistic canvas, so clamping taller
+#: demands into it stays conservative.
+NUM_CLASSES = 31
+
+_SQRT2 = 2.0**0.5
+
+#: ``_CLASS_LOWER[k]`` is the smallest height class ``k`` covers:
+#: ``[0, 2, 2*sqrt2^0... ]`` — for ``k >= 1`` the bound is
+#: ``2^((k+1)//2)`` for odd ``k`` and ``2^(k//2) * sqrt(2)`` for even.
+_CLASS_LOWER = [0.0] + [
+    float(1 << ((k + 1) // 2)) * (1.0 if k % 2 else _SQRT2) for k in range(1, NUM_CLASSES)
+]
+
+
+def height_class(dimension: float) -> int:
+    """The half-octave class of a height, clamped into the profile:
+    ``height_class_lower_bound(height_class(d)) <= d``, and ``d`` lies
+    below the next class's bound (the final class is unbounded)."""
+    whole = size_class(dimension)
+    if whole == 0:
+        return 0
+    fine = 2 * whole - 1
+    if dimension >= float(1 << whole) * _SQRT2:
+        fine += 1
+    return fine if fine < NUM_CLASSES else NUM_CLASSES - 1
+
+
+def height_class_lower_bound(klass: int) -> float:
+    """Smallest height a member of ``klass`` can have."""
+    return _CLASS_LOWER[klass]
+
+
+def canvas_envelope(canvas: "Canvas") -> Tuple[float, float]:
+    """The canvas's free-space envelope ``(max_w, max_h)``.
+
+    ``max_w`` is the maximum width over the canvas's free rectangles and
+    ``max_h`` the maximum height — possibly from *different* rectangles,
+    so the envelope is an upper bound on what fits, never an admission
+    proof.  Skyline canvases answer in O(1) from the fitness profile;
+    guillotine canvases scan their pool once.
+
+    This is the coarse two-float summary the per-class
+    :func:`fit_profile` refines (the stall predictor originally used
+    envelopes and measured them too loose to ever fire — see the PR-5
+    notes in ``CHANGES.md``); it stays exported as the canonical "max
+    free extent" definition, which the regression test for PR 4's
+    unsound pre-check is pinned against.
+    """
+    skyline = canvas.skyline
+    if skyline is not None:
+        return skyline.envelope()
+    max_w = 0.0
+    max_h = 0.0
+    for rect in canvas.free_rectangles:
+        if rect.width > max_w:
+            max_w = rect.width
+        if rect.height > max_h:
+            max_h = rect.height
+    return (max_w, max_h)
+
+
+def fit_profile(canvas: "Canvas") -> List[float]:
+    """The canvas's fit profile: ``profile[hc]`` is the maximum free-
+    rectangle width among candidates at least
+    ``height_class_lower_bound(hc)`` tall — the half-octave bound, not
+    ``2^hc`` — and 0 where no candidate reaches the class.
+
+    For skyline canvases this is one monotone walk over the
+    ``fit_heights``/``fit_maxw`` structures (heights ascending, widths
+    suffix-maxed — exactly the shape the per-canvas bisect uses);
+    guillotine pools are folded class-by-class and suffix-maxed.
+    """
+    profile = [0.0] * NUM_CLASSES
+    skyline = canvas.skyline
+    if skyline is not None:
+        heights = skyline.fit_heights
+        widths = skyline.fit_maxw
+        count = len(heights)
+        index = 0
+        for hc in range(NUM_CLASSES):
+            while index < count and heights[index] < _CLASS_LOWER[hc]:
+                index += 1
+            if index >= count:
+                break
+            profile[hc] = widths[index]
+        return profile
+    for rect in canvas.free_rectangles:
+        hc = height_class(rect.height)
+        if rect.width > profile[hc]:
+            profile[hc] = rect.width
+    for hc in range(NUM_CLASSES - 2, -1, -1):
+        if profile[hc + 1] > profile[hc]:
+            profile[hc] = profile[hc + 1]
+    return profile
+
+
+class CanvasAdmissionIndex:
+    """Dense per-canvas fit profiles with vectorised admission.
+
+    The owner (:class:`~repro.core.stitching.IncrementalStitcher`) calls
+
+    * :meth:`rebuild` whenever the whole canvas list is replaced
+      (adopting a batch re-pack, resetting the queue, a consolidating
+      commit that deleted slots);
+    * :meth:`reindex_canvas` after any single canvas mutates or is
+      appended;
+    * :meth:`best_fit` from the probe hot path.
+    """
+
+    def __init__(self) -> None:
+        #: Row ``i`` is canvas slot ``i``'s fit profile (all-zero rows
+        #: reject everything: oversized canvases and unused capacity).
+        self._profiles = np.zeros((0, NUM_CLASSES))
+        #: Per-slot version stamps: bumped by every re-summarise, so a
+        #: row is exactly the profile written at its current stamp.
+        self._versions: List[int] = []
+        self._canvases: Sequence["Canvas"] = []
+        self._num_slots = 0
+        self.stats = {
+            "queries": 0,
+            "canvases_skipped": 0,
+            "canvases_probed": 0,
+            "reindexes": 0,
+        }
+
+    # ----------------------------------------------------------- maintenance
+    def rebuild(self, canvases: Sequence["Canvas"]) -> None:
+        """Drop everything and summarise ``canvases`` from scratch.
+
+        Keeps a reference to the list so probes can run the exact
+        per-canvas scan; the owner must call :meth:`rebuild` again if it
+        replaces the list object itself.
+        """
+        self._canvases = canvases
+        self._num_slots = len(canvases)
+        if self._profiles.shape[0] < self._num_slots:
+            self._profiles = np.zeros(
+                (max(self._num_slots, 2 * self._profiles.shape[0]), NUM_CLASSES)
+            )
+        self._versions = [0] * self._num_slots
+        self._profiles[: self._num_slots] = 0.0
+        for canvas_index, canvas in enumerate(canvases):
+            if not canvas.oversized:
+                self._profiles[canvas_index] = fit_profile(canvas)
+
+    def reindex_canvas(self, canvas_index: int, canvas: "Canvas") -> None:
+        """Re-summarise one canvas slot in place under a fresh stamp.
+
+        Also registers a newly appended canvas (indices past the end
+        grow the version table and, amortised-doubling, the profile
+        array).  O(:data:`NUM_CLASSES`) — one row write — regardless of
+        how fragmented the canvas's pool is.
+        """
+        while len(self._versions) <= canvas_index:
+            self._versions.append(0)
+        if canvas_index >= self._num_slots:
+            self._num_slots = canvas_index + 1
+            if self._num_slots > self._profiles.shape[0]:
+                grown = np.zeros(
+                    (max(self._num_slots, 2 * self._profiles.shape[0]), NUM_CLASSES)
+                )
+                grown[: self._profiles.shape[0]] = self._profiles
+                self._profiles = grown
+        self._versions[canvas_index] += 1
+        self.stats["reindexes"] += 1
+        if canvas.oversized:
+            self._profiles[canvas_index] = 0.0
+        else:
+            self._profiles[canvas_index] = fit_profile(canvas)
+
+    # ------------------------------------------------------------------ query
+    def best_fit(
+        self,
+        patch_width: float,
+        patch_height: float,
+        exclude: Optional[frozenset] = None,
+    ) -> Optional[Tuple[int, int, float]]:
+        """Exact global BSSF: ``(canvas_index, rect_index, score)`` of the
+        lexicographically minimal ``(score, canvas_index, rect_index)``
+        over every live canvas fitting the patch, or ``None``.
+
+        One vectorised profile comparison admits the candidate canvases
+        (skipping every other canvas wholesale); each admitted canvas is
+        probed with its own exact best-fit in ascending slot order, so
+        ties break on the lowest ``(canvas_index, rect_index)`` exactly
+        like the linear sweep's strict ``<``.  ``exclude`` removes whole
+        canvases from consideration (the consolidation ``"merge"``
+        policy probes for migration targets other than the victim).
+        """
+        self.stats["queries"] += 1
+        demand_class = height_class(patch_height)
+        admitted = np.nonzero(
+            self._profiles[: self._num_slots, demand_class] >= patch_width
+        )[0].tolist()
+        self.stats["canvases_skipped"] += self._num_slots - len(admitted)
+        canvases = self._canvases
+        best_score = float("inf")
+        best_canvas = -1
+        best_rect = -1
+        probed = 0
+        for canvas_index in admitted:
+            if exclude is not None and canvas_index in exclude:
+                continue
+            probed += 1
+            fit = canvases[canvas_index].best_fit_size(patch_width, patch_height)
+            if fit is None:
+                continue  # admitted by the class-compressed profile only
+            rect_index, score = fit
+            if score < best_score:
+                best_score = score
+                best_canvas = canvas_index
+                best_rect = rect_index
+        self.stats["canvases_probed"] += probed
+        if best_canvas < 0:
+            return None
+        return best_canvas, best_rect, best_score
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_slots(self) -> int:
+        """Canvas slots currently summarised (live plus oversized)."""
+        return self._num_slots
+
+    def aggregate_profile(self, exclude: Optional[int] = None) -> List[float]:
+        """Componentwise maximum fit profile over every summarised slot
+        (optionally excluding one) — the fleet's combined capability, as
+        the consolidation stall predictor consumes it.  One vectorised
+        reduction; oversized slots contribute their all-zero rows."""
+        profiles = self._profiles[: self._num_slots]
+        if exclude is not None and 0 <= exclude < self._num_slots:
+            parts = []
+            if exclude > 0:
+                parts.append(profiles[:exclude].max(axis=0))
+            if exclude + 1 < self._num_slots:
+                parts.append(profiles[exclude + 1 :].max(axis=0))
+            if not parts:
+                return [0.0] * NUM_CLASSES
+            return list(np.maximum.reduce(parts))
+        if not len(profiles):
+            return [0.0] * NUM_CLASSES
+        return list(profiles.max(axis=0))
+
+    def version(self, canvas_index: int) -> int:
+        """The slot's current version stamp (introspection/tests)."""
+        return self._versions[canvas_index]
+
+    def profile(self, canvas_index: int) -> List[float]:
+        """A copy of the slot's current fit profile (introspection)."""
+        return list(self._profiles[canvas_index])
+
+    # ---------------------------------------------------------- validation
+    def check_invariants(self, canvases: Sequence["Canvas"]) -> None:
+        """Assert the summary invariants against the live canvas list
+        (used by the property tests): every slot's row equals a freshly
+        derived fit profile of the canvas living there *now* — i.e. no
+        decision can ever be served from a summary older than the
+        slot's last stamp bump — profiles are monotone non-increasing
+        in the height class (taller demands can never admit more
+        width), and every true fit is admitted (the upper-bound
+        contract, spot-checked exhaustively by the hypothesis suite).
+        """
+        assert self._num_slots == len(canvases), "slot count out of sync"
+        assert len(self._versions) >= self._num_slots
+        for canvas_index, canvas in enumerate(canvases):
+            row = list(self._profiles[canvas_index])
+            if canvas.oversized:
+                assert row == [0.0] * NUM_CLASSES, "oversized canvas summarised"
+                continue
+            assert row == fit_profile(canvas), (
+                "stale summary: row differs from the live canvas's profile"
+            )
+            for hc in range(1, NUM_CLASSES):
+                assert row[hc] <= row[hc - 1] + 1e-9, "profile not monotone"

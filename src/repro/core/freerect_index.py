@@ -31,6 +31,17 @@ rectangles; entries from older versions stay in their buckets until a probe
 touches them, at which point they are skipped and dropped.  A compaction
 rebuild runs when stale entries outnumber live ones 3:1, so memory stays
 proportional to the live pool.
+
+At fleet scale the per-rectangle shape has a sibling: the canvas
+admission index (:mod:`repro.core.canvas_index`, the ``canvas_index=``
+knob) keeps one capability summary per *canvas* instead, trading this
+module's score-ordered bucket scan for vectorised canvas admission and
+O(1)-per-mutation maintenance.  Each wins somewhere — the per-rectangle
+buckets' lower-bound early exit stays stronger on crop-heavy mixes
+(many tiny demands admit many canvases), the canvas summaries win on
+the uniform fleet mix and after consolidating commits (their rebuild is
+O(canvases), not O(rectangles)) — which is why both shapes remain
+selectable and are pinned byte-identical to the same linear sweep.
 """
 
 from __future__ import annotations

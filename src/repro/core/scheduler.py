@@ -223,6 +223,17 @@ class TangramScheduler(BaseScheduler):
         Fast path only: answer probes from the size-class
         :class:`~repro.core.freerect_index.FreeRectIndex` instead of the
         linear scan over every free rectangle (identical decisions).
+    canvas_index:
+        Fast path only: answer probes from the fleet-scale
+        :class:`~repro.core.canvas_index.CanvasAdmissionIndex` — one
+        capability summary per live canvas, so whole canvases are
+        skipped without touching their rectangles (identical decisions;
+        supersedes ``use_index``).
+    adaptive_budget:
+        ``repack_scope="canvas"`` only: spend an adaptive pooled-patch
+        budget that ramps from a quarter of ``partial_patch_budget`` to
+        the full knob with the wasteful-overflow rate observed between
+        consolidations (see :class:`IncrementalStitcher`).
     max_partial_victims, partial_patch_budget:
         ``repack_scope="canvas"`` tuning: how many worst canvases one
         partial re-pack may dissolve, and the pooled-patch cap bounding
@@ -258,6 +269,8 @@ class TangramScheduler(BaseScheduler):
         partial_patch_budget: int = 48,
         consolidation: str = "memo",
         retry_backoff: bool = True,
+        canvas_index: bool = False,
+        adaptive_budget: bool = False,
         full_repack_equivalent: bool = False,
         canvas_structure: str = "skyline",
     ) -> None:
@@ -292,6 +305,8 @@ class TangramScheduler(BaseScheduler):
                 partial_patch_budget=partial_patch_budget,
                 consolidation=consolidation,
                 retry_backoff=retry_backoff,
+                canvas_index=canvas_index,
+                adaptive_budget=adaptive_budget,
             )
             if incremental
             else None
@@ -429,6 +444,14 @@ class TangramScheduler(BaseScheduler):
         if self._packer is None:
             return {}
         return self._packer.index_stats
+
+    @property
+    def canvas_index_stats(self) -> dict:
+        """Canvas-admission-index counters; empty without the fast
+        path or the ``canvas_index`` knob."""
+        if self._packer is None:
+            return {}
+        return self._packer.canvas_index_stats
 
     @property
     def consolidation_stats(self) -> dict:

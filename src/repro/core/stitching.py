@@ -45,6 +45,18 @@ from repro.core.patches import Patch
 from repro.core.skyline import Skyline
 from repro.video.geometry import Box
 
+#: Wasteful overflows (since the last committed consolidation) at which
+#: the adaptive budget reaches the full static ``partial_patch_budget``.
+_BUDGET_RAMP = 8
+
+#: The adaptive budget only engages once the queue holds more than this
+#: many multiples of the static budget.  Below that, one consolidation
+#: pool is a large fraction of the queue — the budget is both affordable
+#: and quality-critical (the flushing-stream A/B measures ~3% mean
+#: canvas efficiency lost to a quartered budget at ~2x budget-to-queue
+#: ratio) — so shallow queues keep the static behaviour byte-identical.
+_DEEP_QUEUE_FACTOR = 8
+
 
 class PatchStitchingSolver:
     """Packs a queue of patches onto a sequence of fixed-size canvases.
@@ -405,6 +417,28 @@ class IncrementalStitcher:
         linearly scanning every canvas's pool.  Placement decisions are
         byte-identical either way (the index is exact); the knob exists
         for equivalence tests and A/B benchmarks.
+    canvas_index:
+        When true, probes are answered by a
+        :class:`~repro.core.canvas_index.CanvasAdmissionIndex` — one
+        version-stamped capability summary (free-space envelope) per
+        live canvas, bucketed by envelope size class, so whole canvases
+        are skipped without touching their rectangles.  Decisions stay
+        byte-identical to the linear canvas sweep (and hence to the
+        rectangle index).  Supersedes ``use_index``: the per-rectangle
+        index is not built when the canvas index is on, since its
+        per-rectangle maintenance is exactly the cost the canvas index
+        exists to shed at fleet scale.
+    adaptive_budget:
+        When true, the consolidation paths spend
+        :attr:`effective_patch_budget` instead of the static
+        ``partial_patch_budget``: the budget starts at a quarter of the
+        static knob and ramps toward it with the number of wasteful
+        overflows observed since the last committed consolidation (the
+        overflow *rate between consolidations*), so cheap trials are
+        used while small pools keep consolidating and the full budget is
+        spent only under sustained overflow pressure.  Always bounded
+        above by the static knob.  Off by default: the equivalence pins
+        and the PR-2..4 benchmark arms rely on the static behaviour.
     always_repack:
         Full-repack-equivalent mode: every probe packs the whole queue from
         scratch with the batch solver, making the scheduler's decisions (and
@@ -428,6 +462,8 @@ class IncrementalStitcher:
         partial_patch_budget: int = 48,
         consolidation: str = "memo",
         retry_backoff: bool = True,
+        canvas_index: bool = False,
+        adaptive_budget: bool = False,
     ) -> None:
         if drift_margin < 0:
             raise ValueError("drift_margin must be non-negative")
@@ -446,10 +482,22 @@ class IncrementalStitcher:
         self.max_partial_victims = max_partial_victims
         self.partial_patch_budget = partial_patch_budget
         self.consolidation = consolidation
+        self.canvas_index = canvas_index
+        self.adaptive_budget = adaptive_budget
+        #: Wasteful overflows seen since the last committed consolidation
+        #: (probe-side bookkeeping, like the engine's backoff); drives
+        #: :attr:`effective_patch_budget` when ``adaptive_budget`` is on.
+        self._overflow_streak = 0
         # Full-repack-equivalent mode never probes the pools, so the index
-        # would only be maintenance overhead there.
+        # would only be maintenance overhead there.  The canvas admission
+        # index supersedes the per-rectangle index when both are requested.
+        self._canvas_index: Optional["CanvasAdmissionIndex"] = None
         self._index: Optional["FreeRectIndex"] = None
-        if use_index and not always_repack:
+        if canvas_index and not always_repack:
+            from repro.core.canvas_index import CanvasAdmissionIndex
+
+            self._canvas_index = CanvasAdmissionIndex()
+        elif use_index and not always_repack:
             from repro.core.freerect_index import FreeRectIndex
 
             self._index = FreeRectIndex()
@@ -480,11 +528,10 @@ class IncrementalStitcher:
             self, policy=consolidation, retry_backoff=retry_backoff
         )
         self._consolidation.rebuild()
-        if self._index is not None:
-            # Attach the (identity-stable) canvas list now: compaction
-            # re-walks it, and every later mutation is either in place or
-            # goes through ``_adopt`` which re-attaches.
-            self._index.rebuild(self._canvases)
+        # Attach the (identity-stable) canvas list now: compaction re-walks
+        # it, and every later mutation is either in place or goes through
+        # ``_adopt`` which re-attaches.
+        self._rebuild_indexes()
         self._next_id = 0
         self._equivalent = 0
         #: Total patch area on non-oversized canvases (drift bookkeeping).
@@ -532,6 +579,49 @@ class IncrementalStitcher:
         return dict(self._index.stats)
 
     @property
+    def canvas_index_stats(self) -> dict:
+        """Counters of the canvas admission index; empty without it."""
+        if self._canvas_index is None:
+            return {}
+        return dict(self._canvas_index.stats)
+
+    @property
+    def consolidation_engine(self) -> "ConsolidationEngine":
+        """The consolidation engine, exposed read-only for introspection
+        (tests pin heap contents through
+        :meth:`~repro.core.consolidation.ConsolidationEngine.
+        heap_entries` instead of reaching into private attributes)."""
+        return self._consolidation
+
+    @property
+    def effective_patch_budget(self) -> int:
+        """The pooled-patch budget consolidation may spend *right now*.
+
+        Equal to the static ``partial_patch_budget`` unless
+        ``adaptive_budget`` is on *and* the queue is fleet-deep (more
+        than :data:`_DEEP_QUEUE_FACTOR` times the static budget — below
+        that a pool covers a large slice of the queue and the full
+        budget is quality-critical); then it starts at a quarter of the
+        static knob and ramps linearly toward it with the wasteful
+        overflows observed since the last committed consolidation,
+        reaching the full budget after :data:`_BUDGET_RAMP` of them.
+        Never exceeds the static knob and never falls below 2 (the
+        constructor's validation floor).
+        """
+        static = self.partial_patch_budget
+        if not self.adaptive_budget:
+            return static
+        if len(self._patches) <= _DEEP_QUEUE_FACTOR * static:
+            return static
+        floor = max(2, static // 4)
+        if self._overflow_streak >= _BUDGET_RAMP:
+            return static
+        return min(
+            static,
+            floor + ((static - floor) * self._overflow_streak) // _BUDGET_RAMP,
+        )
+
+    @property
     def consolidation_stats(self) -> dict:
         """Counters of the consolidation engine (attempts, trial packs,
         pre-check and memo rejections, merges)."""
@@ -559,9 +649,12 @@ class IncrementalStitcher:
                 equivalent_after=self._equivalent + max(1, extra),
             )
         # Global best-short-side-fit across every live free-rectangle pool,
-        # answered by the size-class index when enabled (same decision
-        # either way; the index only skips provably non-winning buckets).
-        if self._index is not None:
+        # answered by the canvas admission index or the size-class index
+        # when enabled (same decision all three ways; the indexes only
+        # skip provably non-winning canvases/buckets).
+        if self._canvas_index is not None:
+            fit = self._canvas_index.best_fit(patch.width, patch.height)
+        elif self._index is not None:
             fit = self._index.best_fit(patch.width, patch.height)
         else:
             fit = self.linear_best_fit(patch)
@@ -577,10 +670,18 @@ class IncrementalStitcher:
             )
         if self._should_repack_on_overflow(patch):
             if self.repack_scope == "canvas":
+                # Adaptive-budget bookkeeping (probe-side, like the
+                # engine's backoff): another wasteful overflow since the
+                # last committed consolidation.
+                self._overflow_streak += 1
                 # Canvas scope bounds re-pack work by the patch budget:
                 # when the whole queue fits it, a full re-pack *is* the
                 # bounded operation (and tracks the batch packer exactly);
-                # past that, consolidate only the worst canvases.
+                # past that, consolidate only the worst canvases.  This
+                # threshold deliberately stays on the *static* budget —
+                # a small queue's full re-pack is both the cheapest and
+                # the highest-quality intervention, so the adaptive ramp
+                # only throttles the deep-queue victim-pool trials.
                 if len(self._patches) + 1 <= self.partial_patch_budget:
                     return self._full_repack_plan(patch)
                 plan = self._consolidation.plan(patch)
@@ -654,7 +755,7 @@ class IncrementalStitcher:
         self._patches.append(patch)
         if plan.kind == "repack":
             assert plan.repacked is not None
-            self._adopt(plan.repacked)
+            self._adopt(plan.repacked)  # also resets the overflow streak
             if not self.always_repack:
                 self.stats["full_repacks"] += 1
             return self._canvases
@@ -676,8 +777,7 @@ class IncrementalStitcher:
             self._equivalent = plan.equivalent_after
             self.stats["oversized_canvases"] += 1
             self._consolidation.touch(len(self._canvases) - 1)
-            if self._index is not None:
-                self._index.reindex_canvas(len(self._canvases) - 1, canvas)
+            self._reindex_slot(len(self._canvases) - 1, canvas)
             return self._canvases
         if plan.kind == "new":
             canvas = Canvas(
@@ -695,16 +795,14 @@ class IncrementalStitcher:
             self._active_used += patch.area
             self.stats["new_canvases"] += 1
             self._consolidation.touch(len(self._canvases) - 1)
-            if self._index is not None:
-                self._index.reindex_canvas(len(self._canvases) - 1, canvas)
+            self._reindex_slot(len(self._canvases) - 1, canvas)
         else:  # "fit"
             canvas = self._canvases[plan.canvas_index]
             canvas.place(patch, plan.rect_index)
             self._active_used += patch.area
             self.stats["incremental_placements"] += 1
             self._consolidation.touch(plan.canvas_index)
-            if self._index is not None:
-                self._index.reindex_canvas(plan.canvas_index, canvas)
+            self._reindex_slot(plan.canvas_index, canvas)
         return self._canvases
 
     def _commit_partial(self, plan: PlacementPlan) -> List[Canvas]:
@@ -731,17 +829,15 @@ class IncrementalStitcher:
         self._active_used += plan.patch.area
         self._equivalent = plan.equivalent_after
         self.stats["partial_repacks"] += 1
+        self._overflow_streak = 0
         if removed:
             self._consolidation.rebuild()
+            self._rebuild_indexes()
         else:
             for slot in reused:
                 self._consolidation.touch(slot)
-        if self._index is not None:
-            if removed:
-                self._index.rebuild(self._canvases)
-            else:
-                for slot, canvas in zip(reused, replacements):
-                    self._index.reindex_canvas(slot, canvas)
+            for slot, canvas in zip(reused, replacements):
+                self._reindex_slot(slot, canvas)
         return self._canvases
 
     def _commit_merge(self, plan: PlacementPlan) -> List[Canvas]:
@@ -764,12 +860,12 @@ class IncrementalStitcher:
         self._active_used += plan.patch.area
         self._equivalent = plan.equivalent_after
         self.stats["merges"] += 1
+        self._overflow_streak = 0
         touched = {slot for slot, _rect, _p in plan.migrations}
         touched.add(victim_slot)
         for slot in touched:
             self._consolidation.touch(slot)
-            if self._index is not None:
-                self._index.reindex_canvas(slot, canvases[slot])
+            self._reindex_slot(slot, canvases[slot])
         return self._canvases
 
     def add(self, patch: Patch) -> List[Canvas]:
@@ -795,6 +891,23 @@ class IncrementalStitcher:
         )
         self._active_count = sum(1 for canvas in canvases if not canvas.oversized)
         self._last_repack_size = len(self._patches)
+        self._overflow_streak = 0
         self._consolidation.rebuild()
-        if self._index is not None:
+        self._rebuild_indexes()
+
+    def _reindex_slot(self, slot: int, canvas: Canvas) -> None:
+        """Refresh whichever probe index is enabled for one mutated (or
+        newly appended) canvas slot."""
+        if self._canvas_index is not None:
+            self._canvas_index.reindex_canvas(slot, canvas)
+        elif self._index is not None:
+            self._index.reindex_canvas(slot, canvas)
+
+    def _rebuild_indexes(self) -> None:
+        """Re-attach the live canvas list to whichever probe index is
+        enabled (the list object itself was replaced, or slots were
+        deleted and every index shifted)."""
+        if self._canvas_index is not None:
+            self._canvas_index.rebuild(self._canvases)
+        elif self._index is not None:
             self._index.rebuild(self._canvases)

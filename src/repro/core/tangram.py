@@ -91,6 +91,15 @@ class TangramConfig:
     scheduler_consolidation: str = "memo"
     #: Probe via the size-class free-rectangle index (identical decisions).
     scheduler_use_index: bool = True
+    #: Probe via the fleet-scale canvas admission index instead — one
+    #: capability summary per canvas, identical decisions, supersedes
+    #: ``scheduler_use_index`` (see :mod:`repro.core.canvas_index`).
+    scheduler_canvas_index: bool = False
+    #: Adaptive consolidation budget: ramp the pooled-patch budget with
+    #: the wasteful-overflow rate between consolidations, bounded by
+    #: ``partial_patch_budget`` (see :class:`repro.core.stitching.
+    #: IncrementalStitcher`).
+    scheduler_adaptive_budget: bool = False
     #: Canvas free-space structure: ``"skyline"`` (default) or
     #: ``"guillotine"`` (see :class:`repro.core.skyline.Skyline`).
     canvas_structure: str = "skyline"
@@ -213,4 +222,6 @@ class Tangram:
             repack_scope=self.config.scheduler_repack_scope,
             consolidation=self.config.scheduler_consolidation,
             use_index=self.config.scheduler_use_index,
+            canvas_index=self.config.scheduler_canvas_index,
+            adaptive_budget=self.config.scheduler_adaptive_budget,
         )

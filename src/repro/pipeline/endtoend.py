@@ -84,6 +84,16 @@ class EndToEndConfig:
     #: Answer probes from the size-class free-rectangle index instead of
     #: the linear scan (placement decisions are identical either way).
     scheduler_use_index: bool = True
+    #: Answer probes from the fleet-scale canvas admission index — one
+    #: capability summary per live canvas, identical decisions,
+    #: supersedes ``scheduler_use_index`` (see
+    #: :mod:`repro.core.canvas_index`).
+    scheduler_canvas_index: bool = False
+    #: Ramp the consolidation pooled-patch budget with the
+    #: wasteful-overflow rate between consolidations, bounded by the
+    #: static knob (see :class:`repro.core.stitching.
+    #: IncrementalStitcher`).
+    scheduler_adaptive_budget: bool = False
     #: Re-pack the whole queue on every arrival through the incremental
     #: plumbing; metrics become byte-identical to ``scheduler_incremental
     #: = False`` (used for equivalence checks).
@@ -276,6 +286,8 @@ class EndToEndRunner:
                 repack_scope=config.scheduler_repack_scope,
                 consolidation=config.scheduler_consolidation,
                 use_index=config.scheduler_use_index,
+                canvas_index=config.scheduler_canvas_index,
+                adaptive_budget=config.scheduler_adaptive_budget,
                 full_repack_equivalent=config.scheduler_full_repack_equivalent,
             )
         if config.strategy == "clipper":

@@ -365,7 +365,9 @@ class TestEfficiencyHeap:
     @given(st.lists(fitting_sizes, min_size=2, max_size=40))
     def test_heap_tracks_live_efficiencies(self, size_list):
         """After any arrival mix, the heap's valid entries describe exactly
-        the live non-oversized canvases at their current efficiencies."""
+        the live non-oversized canvases at their current efficiencies
+        (read through the engine's introspection surface, not its
+        private heap/stamp lists)."""
         stitcher = IncrementalStitcher(
             PatchStitchingSolver(canvas_structure="skyline"),
             repack_scope="canvas",
@@ -373,17 +375,12 @@ class TestEfficiencyHeap:
         )
         for patch in _patches(size_list):
             stitcher.add(patch)
-        valid = sorted(
-            (eff, index)
-            for eff, index, stamp in stitcher._consolidation._heap
-            if stamp == stitcher._consolidation._stamps[index]
-        )
         expected = sorted(
             (canvas.efficiency, index)
             for index, canvas in enumerate(stitcher.canvases)
             if not canvas.oversized
         )
-        assert valid == expected
+        assert stitcher.consolidation_engine.heap_entries() == expected
 
     def test_probe_leaves_heap_usable(self):
         """A probe pops heap entries while planning; every live canvas
