@@ -118,6 +118,21 @@ def main(argv=None) -> int:
         "below this (default 1.3)",
     )
     parser.add_argument(
+        "--min-fleet-efficiency-ratio",
+        type=float,
+        default=0.95,
+        help="--check fails when the churn run's delivered stream "
+        "efficiency falls below this fraction of the fault-free run "
+        "(default 0.95)",
+    )
+    parser.add_argument(
+        "--max-fleet-overreaction",
+        type=float,
+        default=0.05,
+        help="--check fails when the churn run sheds/expires more than "
+        "the injected-fault fraction plus this margin (default 0.05)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the instrumented arrival-path profile (per-stage time "
@@ -225,6 +240,8 @@ def main(argv=None) -> int:
             min_skyline_speedup=args.min_skyline_speedup,
             min_consolidation_speedup=args.min_consolidation_speedup,
             min_canvas_index_speedup=args.min_canvas_index_speedup,
+            min_fleet_efficiency_ratio=args.min_fleet_efficiency_ratio,
+            max_fleet_overreaction=args.max_fleet_overreaction,
             ratios_only=args.ratios_only,
         )
         if failures:

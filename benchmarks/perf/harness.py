@@ -727,6 +727,76 @@ def bench_end_to_end_fleet() -> BenchResult:
     )
 
 
+def _fleet_scenario_config():
+    from repro.fleet import FleetScenarioConfig, FleetWorkloadConfig
+
+    # 64 cameras x 2 fps x 4 s x 2 patches/frame = 1024 base patches.
+    return FleetScenarioConfig(
+        workload=FleetWorkloadConfig(
+            num_cameras=64,
+            fps=2.0,
+            duration_s=4.0,
+            patches_per_frame=2,
+            slo=1.0,
+            seed=7,
+        ),
+        repack_scope="canvas",
+        estimator_iterations=100,
+    )
+
+
+def _bench_fleet_scenario(name: str, with_faults: bool) -> BenchResult:
+    """One 64-camera / 1024-base-patch fleet run through the full
+    fault-tolerant path (retrying uplinks -> bounded ingest -> scheduler).
+    The churn arm injects the ISSUE's cocktail — 10% camera churn, 2%
+    uplink loss, and a burst window — and its meta carries the fractions
+    the robustness gates are stated over (zero escaped errors, delivered
+    stream efficiency >= 0.95 of fault-free, shed+expired bounded by the
+    injected-fault fraction + 5%)."""
+    from repro.fleet import FaultPlan, camera_ids, run_fleet_scenario
+
+    config = _fleet_scenario_config()
+    plan = None
+    if with_faults:
+        plan = FaultPlan.generate(
+            seed=23,
+            camera_ids=camera_ids(config.workload),
+            duration=config.workload.duration_s,
+            dropout_fraction=0.1,
+            loss_probability=0.02,
+            burst_count=2,
+            burst_multiplier=2.0,
+        )
+    start = time.perf_counter()
+    result = run_fleet_scenario(config, plan)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        name,
+        elapsed,
+        {
+            "num_cameras": config.workload.num_cameras,
+            "expected_base": result.expected_base,
+            "burst_sent": result.burst_sent,
+            "delivered_fraction": round(result.delivered_fraction, 4),
+            "injected_fault_fraction": round(result.injected_fault_fraction, 4),
+            "shed_expired_fraction": round(result.shed_expired_fraction, 4),
+            "slo_violations": result.slo_violations,
+            "errors": result.errors,
+            "fault_summary": result.fault_summary,
+        },
+    )
+
+
+def bench_fleet_faultfree_1024() -> BenchResult:
+    """The fault-free arm of the fleet robustness pair."""
+    return _bench_fleet_scenario("fleet_faultfree_1024", with_faults=False)
+
+
+def bench_fleet_churn_1024() -> BenchResult:
+    """The churn arm: burst + 10% camera churn + 2% loss."""
+    return _bench_fleet_scenario("fleet_churn_1024", with_faults=True)
+
+
 SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "stitching_batch_pack_256": bench_stitching_batch_pack,
     "stitching_incremental_256": bench_stitching_incremental,
@@ -757,6 +827,8 @@ SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "gmm_frame_loop": bench_gmm_frame_loop,
     "end_to_end_small": bench_end_to_end,
     "end_to_end_fleet_64": bench_end_to_end_fleet,
+    "fleet_faultfree_1024": bench_fleet_faultfree_1024,
+    "fleet_churn_1024": bench_fleet_churn_1024,
 }
 
 
@@ -951,6 +1023,26 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
             derived["consolidation_stream_efficiency_ratio"] = round(
                 merge_eff / reference_eff, 4
             )
+    faultfree = sections.get("fleet_faultfree_1024")
+    churn = sections.get("fleet_churn_1024")
+    if faultfree and churn:
+        faultfree_delivered = float(faultfree["meta"].get("delivered_fraction", 0.0))
+        churn_delivered = float(churn["meta"].get("delivered_fraction", 0.0))
+        if faultfree_delivered > 0:
+            derived["fleet_stream_efficiency_ratio"] = round(
+                churn_delivered / faultfree_delivered, 4
+            )
+        # How much load the pipeline lost *beyond* what the faults took
+        # away: negative or small-positive means the degradation machinery
+        # only shed what the fault plan forced it to.
+        derived["fleet_fault_overreaction"] = round(
+            float(churn["meta"].get("shed_expired_fraction", 0.0))
+            - float(churn["meta"].get("injected_fault_fraction", 0.0)),
+            4,
+        )
+        derived["fleet_errors"] = int(faultfree["meta"].get("errors", 0)) + int(
+            churn["meta"].get("errors", 0)
+        )
     return derived
 
 
@@ -974,6 +1066,8 @@ def check_against_baseline(
     min_skyline_speedup: float = 2.0,
     min_consolidation_speedup: float = 1.5,
     min_canvas_index_speedup: float = 1.3,
+    min_fleet_efficiency_ratio: float = 0.95,
+    max_fleet_overreaction: float = 0.05,
     ratios_only: bool = False,
 ) -> List[str]:
     """Compare a fresh report against the committed baseline.
@@ -1017,6 +1111,7 @@ def check_against_baseline(
         ("consolidation_stream_efficiency_ratio", min_efficiency_ratio, ""),
         ("canvas_index_speedup_4096", min_canvas_index_speedup, "x"),
         ("canvas_index_stream_efficiency_ratio", min_efficiency_ratio, ""),
+        ("fleet_stream_efficiency_ratio", min_fleet_efficiency_ratio, ""),
     ]
     for key, minimum, unit in gates:
         value = derived.get(key)
@@ -1025,4 +1120,20 @@ def check_against_baseline(
                 f"{key} {float(value):.2f}{unit} is below the "
                 f"required {minimum:.2f}{unit}"
             )
+    # The fleet robustness pair also carries two *maximum*-style gates:
+    # zero escaped exceptions, and shedding bounded by the injected-fault
+    # fraction plus the allowed margin.
+    errors = derived.get("fleet_errors")
+    if errors is not None and int(errors) > 0:
+        failures.append(
+            f"fleet_errors {int(errors)}: fleet scenarios must complete "
+            "with zero escaped exceptions"
+        )
+    overreaction = derived.get("fleet_fault_overreaction")
+    if overreaction is not None and float(overreaction) > max_fleet_overreaction:
+        failures.append(
+            f"fleet_fault_overreaction {float(overreaction):.4f} exceeds the "
+            f"allowed margin {max_fleet_overreaction:.4f} (the pipeline shed "
+            "more than the injected faults account for)"
+        )
     return failures

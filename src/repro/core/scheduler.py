@@ -248,6 +248,16 @@ class TangramScheduler(BaseScheduler):
         or ``"guillotine"`` — see :class:`~repro.core.skyline.Skyline`).
         Applies when the scheduler builds its own solver; a ``solver``
         passed in brings its own ``canvas_structure`` and wins.
+    admission_watermark:
+        SLO-aware graceful degradation: once the pending queue holds at
+        least this many patches, arriving patches that can no longer
+        meet their SLO even if served immediately (remaining slack below
+        the single-canvas execution floor) are *shed* at admission
+        instead of burning a probe, a canvas slot, and an invocation —
+        recorded in :attr:`shed` (vs the SLO-violation accounting of
+        served-but-late patches).  ``None`` (the default) disables
+        shedding; every decision is then byte-identical to the
+        watermark-free scheduler.
     """
 
     def __init__(
@@ -273,6 +283,7 @@ class TangramScheduler(BaseScheduler):
         adaptive_budget: bool = False,
         full_repack_equivalent: bool = False,
         canvas_structure: str = "skyline",
+        admission_watermark: Optional[int] = None,
     ) -> None:
         latency_model = latency_model or DetectorLatencyModel.serverless()
         super().__init__(
@@ -311,6 +322,12 @@ class TangramScheduler(BaseScheduler):
             if incremental
             else None
         )
+        if admission_watermark is not None and admission_watermark < 1:
+            raise ValueError("admission_watermark must be at least 1")
+        self.admission_watermark = admission_watermark
+        #: Patches shed by the admission watermark (SLO-aware degradation).
+        self.shed: List[Patch] = []
+        self._min_feasible_latency: Optional[float] = None
         self._queue: List[Patch] = []
         self._deadline_heap: List[float] = []
         self._canvases: List[Canvas] = []
@@ -326,9 +343,37 @@ class TangramScheduler(BaseScheduler):
     def _memory_exceeded(self, canvases: Sequence[Canvas]) -> bool:
         return len(canvases) > self.max_canvases
 
+    # ------------------------------------------------------------ degradation
+    def _should_shed(self, patch: Patch) -> bool:
+        """SLO-aware shedding: past the watermark, drop arrivals that are
+        already doomed (their remaining slack is below the single-canvas
+        execution floor, so serving them could only produce a violation
+        while delaying everything queued behind them)."""
+        if (
+            self.admission_watermark is None
+            or len(self._queue) < self.admission_watermark
+        ):
+            return False
+        if self._min_feasible_latency is None:
+            self._min_feasible_latency = self.estimator.slack_time(1)
+        if patch.deadline - self.simulator.now >= self._min_feasible_latency:
+            return False
+        self.shed.append(patch)
+        return True
+
+    @property
+    def degradation_stats(self) -> dict:
+        """Shed-vs-violation accounting of the admission watermark."""
+        return {
+            "shed": len(self.shed),
+            "slo_violations": sum(1 for o in self.all_outcomes if o.violated),
+        }
+
     # ---------------------------------------------------------------- arrival
     def receive_patch(self, patch: Patch) -> None:
         """Algorithm 2, lines 4-18: handle one arriving patch."""
+        if self._should_shed(patch):
+            return
         if self._packer is not None:
             self._receive_patch_fast(patch)
             return

@@ -103,6 +103,12 @@ class TangramConfig:
     #: Canvas free-space structure: ``"skyline"`` (default) or
     #: ``"guillotine"`` (see :class:`repro.core.skyline.Skyline`).
     canvas_structure: str = "skyline"
+    #: SLO-aware degradation: once the scheduler queue holds this many
+    #: patches, arrivals that can no longer meet their SLO are shed at
+    #: admission instead of served late (see
+    #: :class:`repro.core.scheduler.TangramScheduler`).  ``None``
+    #: disables shedding (byte-identical to the watermark-free path).
+    scheduler_admission_watermark: Optional[int] = None
 
 
 class Tangram:
@@ -224,4 +230,5 @@ class Tangram:
             use_index=self.config.scheduler_use_index,
             canvas_index=self.config.scheduler_canvas_index,
             adaptive_budget=self.config.scheduler_adaptive_budget,
+            admission_watermark=self.config.scheduler_admission_watermark,
         )

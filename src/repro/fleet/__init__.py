@@ -1,0 +1,59 @@
+"""Fault-tolerant fleet ingestion in front of the Tangram scheduler.
+
+The paper's end-to-end story assumes cameras that never disconnect and
+uplinks that never drop a byte.  This package is the robustness layer a
+real fleet needs between frame capture and ``TangramScheduler``:
+
+* :mod:`repro.fleet.ingest` -- bounded per-camera queues with drop-newest
+  backpressure, deadline-ordered draining, stale expiry before the packer
+  sees a patch, and watermark degradation with hysteresis;
+* :mod:`repro.fleet.liveness` -- heartbeat liveness with the
+  alive/suspect/dead/reconnecting state machine;
+* :mod:`repro.fleet.retry` -- exponential backoff + jitter retransmission
+  over the lossy uplink mode of :mod:`repro.network.link`;
+* :mod:`repro.fleet.faults` -- seeded, deterministic fault plans
+  (dropout, loss, jitter, burst) whose windows nest as intensity rises;
+* :mod:`repro.fleet.scenario` -- the wiring of all of the above into one
+  runnable, fully-counted fleet experiment.
+"""
+
+from repro.fleet.faults import FaultEvent, FaultFreePlan, FaultPlan
+from repro.fleet.ingest import FleetIngestor
+from repro.fleet.liveness import (
+    ALIVE,
+    DEAD,
+    LIVENESS_STATES,
+    RECONNECTING,
+    SUSPECT,
+    LivenessTracker,
+)
+from repro.fleet.retry import ReliableSender, RetryPolicy, TransferStats
+from repro.fleet.scenario import (
+    FleetRunResult,
+    FleetScenarioConfig,
+    fleet_scenario_counters,
+    run_fleet_scenario,
+)
+from repro.workloads.fleet import FleetWorkloadConfig, camera_ids
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "LIVENESS_STATES",
+    "RECONNECTING",
+    "SUSPECT",
+    "FaultEvent",
+    "FaultFreePlan",
+    "FaultPlan",
+    "FleetIngestor",
+    "FleetRunResult",
+    "FleetScenarioConfig",
+    "FleetWorkloadConfig",
+    "LivenessTracker",
+    "camera_ids",
+    "ReliableSender",
+    "RetryPolicy",
+    "TransferStats",
+    "fleet_scenario_counters",
+    "run_fleet_scenario",
+]

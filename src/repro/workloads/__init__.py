@@ -8,6 +8,15 @@ from the same seeds.
 """
 
 from repro.workloads.builder import build_camera_traces, default_camera_scenes
+from repro.workloads.fleet import (
+    BASE_SCENE,
+    BURST_SCENE,
+    FleetWorkloadConfig,
+    camera_ids,
+    capture_times,
+    make_patch,
+    patch_dimensions,
+)
 from repro.workloads.sweeps import (
     SLO_GRID_BY_BANDWIDTH,
     SweepPoint,
@@ -16,8 +25,15 @@ from repro.workloads.sweeps import (
 )
 
 __all__ = [
+    "BASE_SCENE",
+    "BURST_SCENE",
+    "FleetWorkloadConfig",
     "build_camera_traces",
+    "camera_ids",
+    "capture_times",
     "default_camera_scenes",
+    "make_patch",
+    "patch_dimensions",
     "SweepPoint",
     "SLO_GRID_BY_BANDWIDTH",
     "end_to_end_sweep",

@@ -1,0 +1,105 @@
+"""Deterministic patch-level fleet workloads for the chaos experiments.
+
+The fault-injection scenarios need a workload whose *base* stream is
+bit-identical across fault intensities: if raising the loss dial also
+changed which patches the cameras produced, "more faults never increases
+delivered efficiency" would be unverifiable.  So instead of the frame /
+RoI generator (whose numpy streams are consumed in arrival order), every
+patch here is a pure function of ``(seed, camera, frame, slot)`` through
+the counter-based uniforms of :mod:`repro.network.link` -- suppressing,
+dropping, or delaying any subset of the stream leaves every other patch
+exactly as it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.patches import Patch
+from repro.network.link import counter_uniform
+from repro.video.geometry import Box
+
+#: Scene key of regular fleet patches.
+BASE_SCENE = "fleet"
+#: Scene key tagging the surplus patches injected by burst fault events;
+#: the chaos metrics exclude them from the delivered-fraction numerator
+#: and denominator.
+BURST_SCENE = "fault:burst"
+
+
+@dataclass(frozen=True)
+class FleetWorkloadConfig:
+    """Shape of the synthetic fleet stream."""
+
+    num_cameras: int = 8
+    fps: float = 4.0
+    duration_s: float = 8.0
+    patches_per_frame: int = 2
+    slo: float = 1.0
+    seed: int = 7
+    min_patch: float = 96.0
+    max_patch: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.num_cameras < 1 or self.patches_per_frame < 1:
+            raise ValueError("num_cameras and patches_per_frame must be >= 1")
+        if self.fps <= 0 or self.duration_s <= 0 or self.slo <= 0:
+            raise ValueError("fps, duration_s and slo must be positive")
+        if not 0 < self.min_patch <= self.max_patch:
+            raise ValueError("need 0 < min_patch <= max_patch")
+
+    @property
+    def frames_per_camera(self) -> int:
+        return int(self.duration_s * self.fps)
+
+    @property
+    def total_base_patches(self) -> int:
+        """The fault-free denominator of every delivered-fraction metric."""
+        return self.num_cameras * self.frames_per_camera * self.patches_per_frame
+
+
+def camera_ids(config: FleetWorkloadConfig) -> List[str]:
+    return [f"cam-{index:03d}" for index in range(config.num_cameras)]
+
+
+def capture_times(config: FleetWorkloadConfig, camera_id: str) -> List[float]:
+    """Capture instants for one camera: a per-camera phase plus the frame
+    grid, so the fleet's arrivals interleave instead of stampeding."""
+    interval = 1.0 / config.fps
+    phase = interval * counter_uniform(config.seed, "fleet/phase", camera_id)
+    return [phase + k * interval for k in range(config.frames_per_camera)]
+
+
+def patch_dimensions(
+    config: FleetWorkloadConfig, camera_id: str, frame_index: int, slot: int
+) -> Tuple[float, float]:
+    """Width/height of one patch, a pure function of its identity."""
+    span = config.max_patch - config.min_patch
+    width = config.min_patch + span * counter_uniform(
+        config.seed, "fleet/patch-w", (camera_id, frame_index, slot)
+    )
+    height = config.min_patch + span * counter_uniform(
+        config.seed, "fleet/patch-h", (camera_id, frame_index, slot)
+    )
+    return round(width, 1), round(height, 1)
+
+
+def make_patch(
+    config: FleetWorkloadConfig,
+    camera_id: str,
+    frame_index: int,
+    slot: int,
+    generation_time: float,
+    scene_key: str = BASE_SCENE,
+) -> Patch:
+    """Materialise one patch of the deterministic stream."""
+    width, height = patch_dimensions(config, camera_id, frame_index, slot)
+    return Patch(
+        camera_id=camera_id,
+        frame_index=frame_index,
+        region=Box(0.0, 0.0, width, height),
+        generation_time=generation_time,
+        slo=config.slo,
+        scene_key=scene_key,
+    )

@@ -94,3 +94,151 @@ class TestUplink:
         uplink = Uplink(simulator, bandwidth_mbps=10.0)
         with pytest.raises(ValueError):
             uplink.send(-1)
+
+
+class TestSendOutcome:
+    def test_outcome_resolves_on_delivery(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=8.0, propagation_delay=0.0)
+        outcome = uplink.send(1_000_000, payload="frame")
+        assert outcome.pending and not outcome.delivered and not outcome.dropped
+        assert outcome.latency is None
+        simulator.run()
+        assert outcome.delivered and outcome.status == "delivered"
+        assert outcome.record is not None
+        assert outcome.latency == pytest.approx(1.0)
+
+    def test_outcome_resolves_on_loss(self):
+        simulator = Simulator()
+        uplink = Uplink(
+            simulator, bandwidth_mbps=8.0, propagation_delay=0.0, loss_probability=1.0
+        )
+        dropped = []
+        outcome = uplink.send(1_000_000, on_dropped=dropped.append, loss_key="k")
+        simulator.run()
+        assert outcome.dropped and outcome.drop_reason == "loss"
+        assert len(dropped) == 1
+        assert dropped[0].delivered is False
+
+
+class TestLossyUplink:
+    def test_same_seed_same_drop_sequence(self):
+        def drop_pattern(seed):
+            simulator = Simulator()
+            uplink = Uplink(
+                simulator,
+                bandwidth_mbps=80.0,
+                loss_probability=0.4,
+                fault_seed=seed,
+                name="uplink/det",
+            )
+            outcomes = [uplink.send(10_000, loss_key=i) for i in range(64)]
+            simulator.run()
+            return [o.status for o in outcomes]
+
+        assert drop_pattern(5) == drop_pattern(5)
+        assert drop_pattern(5) != drop_pattern(6)
+
+    def test_raising_loss_probability_nests_drop_sets(self):
+        def dropped_keys(probability):
+            simulator = Simulator()
+            uplink = Uplink(
+                simulator,
+                bandwidth_mbps=80.0,
+                loss_probability=probability,
+                fault_seed=11,
+                name="uplink/nest",
+            )
+            outcomes = {i: uplink.send(10_000, loss_key=i) for i in range(128)}
+            simulator.run()
+            return {i for i, o in outcomes.items() if o.dropped}
+
+        low, high = dropped_keys(0.2), dropped_keys(0.5)
+        assert low and low < high
+
+    def test_lost_send_still_occupies_the_link(self):
+        simulator = Simulator()
+        uplink = Uplink(
+            simulator,
+            bandwidth_mbps=8.0,
+            propagation_delay=0.0,
+            loss_probability=lambda now: 1.0 if now == 0.0 else 0.0,
+        )
+        finishes = []
+        uplink.send(500_000)  # lost, but serialises until t=0.5
+        simulator.schedule_at(
+            0.1,
+            lambda _sim: uplink.send(
+                500_000, on_delivered=lambda r: finishes.append(r.finish_time)
+            ),
+        )
+        simulator.run()
+        assert finishes == pytest.approx([1.0])
+        assert uplink.dropped_bytes == 500_000
+        assert uplink.total_bytes == 500_000
+
+    def test_outage_window_drops_immediately(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=8.0, outages=[(1.0, 2.0)])
+        statuses = []
+
+        def try_send(_sim):
+            outcome = uplink.send(1000, loss_key=simulator.now)
+            statuses.append((simulator.now, outcome.status, outcome.drop_reason))
+
+        for when in (0.5, 1.5, 2.5):
+            simulator.schedule_at(when, try_send)
+        simulator.run()
+        assert statuses[0][1] == "pending"
+        assert statuses[1] == (1.5, "dropped", "outage")
+        assert statuses[2][1] == "pending"
+        assert uplink.in_outage(1.5) and not uplink.in_outage(2.5)
+        assert len(uplink.drops) == 1
+
+    def test_jitter_delays_delivery_within_bound(self):
+        simulator = Simulator()
+        uplink = Uplink(
+            simulator,
+            bandwidth_mbps=8.0,
+            propagation_delay=0.1,
+            jitter_s=0.5,
+            fault_seed=3,
+        )
+        delivered_at = []
+        uplink.send(
+            800_000, on_delivered=lambda r: delivered_at.append(simulator.now), loss_key=0
+        )
+        simulator.run()
+        # Serialisation 0.8 s + propagation 0.1 s + jitter in [0, 0.5).
+        assert 0.9 <= delivered_at[0] < 1.4
+        assert delivered_at[0] > 0.9  # the draw is almost surely non-zero
+
+    def test_default_path_byte_identical_to_loss_free_uplink(self):
+        def run(**kwargs):
+            simulator = Simulator()
+            uplink = Uplink(
+                simulator, bandwidth_mbps=12.0, propagation_delay=0.01, **kwargs
+            )
+            for index in range(16):
+                simulator.schedule_at(
+                    index * 0.03, lambda _sim, i=index: uplink.send(40_000 + 1000 * i)
+                )
+            simulator.run()
+            return [
+                (r.enqueue_time, r.start_time, r.finish_time, r.size_bytes)
+                for r in uplink.records
+            ]
+
+        baseline = run()
+        with_knobs = run(loss_probability=0.0, jitter_s=0.0, outages=(), fault_seed=99)
+        assert with_knobs == baseline
+
+    def test_bytes_per_second_hoisted_once(self):
+        simulator = Simulator()
+        uplink = Uplink(simulator, bandwidth_mbps=16.0)
+        assert uplink.bytes_per_second == pytest.approx(16.0 * 1e6 / 8.0)
+        link = NetworkLink(bandwidth_mbps=16.0)
+        assert link.bytes_per_second == pytest.approx(uplink.bytes_per_second)
+        assert link.transfer_time(2_000_000) == pytest.approx(
+            2_000_000 / link.bytes_per_second + link.propagation_delay
+        )

@@ -133,3 +133,94 @@ def test_structures_track_each_other():
     )
     assert skyline["efficiency"] >= 0.97 * guillotine["efficiency"]
     assert guillotine["efficiency"] >= 0.97 * skyline["efficiency"]
+
+
+# --------------------------------------------------------------------------
+# Fault-free fleet-ingest pin: routing arrivals through the PR-6
+# FleetIngestor (no watermarks, no liveness, nothing stale) must be
+# byte-identical to handing them straight to the scheduler -- the fleet
+# layer is pure plumbing until a fault actually fires.
+
+
+def _timed_patches():
+    if "timed_patches" not in _CACHE:
+        rng = np.random.default_rng(SEED + 1)
+        _CACHE["timed_patches"] = [
+            Patch(
+                camera_id=f"cam-{i % 8}",
+                frame_index=i,
+                region=Box(0.0, 0.0, float(w), float(h)),
+                generation_time=i * 0.004,
+                slo=5.0,
+            )
+            for i, (w, h) in enumerate(
+                zip(
+                    rng.uniform(64.0, 512.0, size=384),
+                    rng.uniform(64.0, 512.0, size=384),
+                )
+            )
+        ]
+    return _CACHE["timed_patches"]
+
+
+def _timed_run(via_ingestor: bool):
+    from repro.core.latency import LatencyEstimator
+    from repro.core.scheduler import TangramScheduler
+    from repro.fleet.ingest import FleetIngestor
+    from repro.serverless.platform import ScalingPolicy, ServerlessPlatform
+    from repro.simulation.engine import Simulator
+    from repro.simulation.random_streams import RandomStreams
+    from repro.vision.detector import DetectorLatencyModel
+
+    simulator = Simulator()
+    streams = RandomStreams(101)
+    latency_model = DetectorLatencyModel.serverless()
+    platform = ServerlessPlatform(
+        simulator, scaling=ScalingPolicy(max_instances=32), cold_start_time=0.05
+    )
+    scheduler = TangramScheduler(
+        simulator,
+        platform,
+        solver=PatchStitchingSolver(),
+        estimator=LatencyEstimator(
+            latency_model=latency_model,
+            canvas_width=1024.0,
+            canvas_height=1024.0,
+            iterations=100,
+            streams=streams.spawn("estimator"),
+        ),
+        latency_model=latency_model,
+        streams=streams.spawn("scheduler"),
+        repack_scope="canvas",
+    )
+    ingestor = FleetIngestor(simulator, scheduler) if via_ingestor else None
+    deliver = ingestor.offer if via_ingestor else scheduler.receive_patch
+    for patch in _timed_patches():
+        simulator.schedule_at(
+            patch.generation_time, lambda _sim, patch=patch: deliver(patch)
+        )
+    simulator.run()
+    if ingestor is not None:
+        ingestor.flush()
+    scheduler.flush()
+    simulator.run()
+    if ingestor is not None:
+        stats = ingestor.stats
+        assert stats["admitted"] == len(_timed_patches())
+        assert stats["expired_stale"] == stats["dropped_backpressure"] == 0
+    return [
+        (
+            batch.invoke_time,
+            batch.completion_time,
+            batch.execution_time,
+            batch.cost,
+            tuple(batch.canvas_efficiencies),
+            tuple((o.patch.patch_id, o.completion_time) for o in batch.outcomes),
+        )
+        for batch in scheduler.batches
+        if batch.outcomes
+    ]
+
+
+def test_fault_free_fleet_ingest_is_byte_identical():
+    assert _timed_run(via_ingestor=True) == _timed_run(via_ingestor=False)
