@@ -133,6 +133,21 @@ def main(argv=None) -> int:
         "the injected-fault fraction plus this margin (default 0.05)",
     )
     parser.add_argument(
+        "--min-sharded-speedup",
+        type=float,
+        default=1.5,
+        help="--check fails when the 4-shard frontend's scheduler-side "
+        "patches/sec falls below this multiple of the single scheduler's "
+        "(default 1.5)",
+    )
+    parser.add_argument(
+        "--max-sharded-slo-delta",
+        type=float,
+        default=0.0,
+        help="--check fails when the sharded run's SLO-violation rate "
+        "exceeds the single scheduler's by more than this (default 0.0)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the instrumented arrival-path profile (per-stage time "
@@ -242,6 +257,8 @@ def main(argv=None) -> int:
             min_canvas_index_speedup=args.min_canvas_index_speedup,
             min_fleet_efficiency_ratio=args.min_fleet_efficiency_ratio,
             max_fleet_overreaction=args.max_fleet_overreaction,
+            min_sharded_speedup=args.min_sharded_speedup,
+            max_sharded_slo_delta=args.max_sharded_slo_delta,
             ratios_only=args.ratios_only,
         )
         if failures:

@@ -797,6 +797,109 @@ def bench_fleet_churn_1024() -> BenchResult:
     return _bench_fleet_scenario("fleet_churn_1024", with_faults=True)
 
 
+def _sharded_fleet_config():
+    from repro.fleet import FleetScenarioConfig, FleetWorkloadConfig
+
+    # 1024 cameras x 4 fps x 2 s x 2 patches/frame = 16384 base patches,
+    # plus two 2x burst windows (~3.3k surplus).  Liveness is off: the
+    # per-offer liveness sweep is O(fleet) bookkeeping shared by both
+    # arms, not the scheduling work this pair compares.
+    return FleetScenarioConfig(
+        workload=FleetWorkloadConfig(
+            num_cameras=1024,
+            fps=4.0,
+            duration_s=2.0,
+            patches_per_frame=2,
+            slo=1.0,
+            seed=11,
+        ),
+        seed=3,
+        track_liveness=False,
+    )
+
+
+def _sharded_fleet_plan(config):
+    from repro.fleet import FaultPlan, camera_ids
+
+    return FaultPlan.generate(
+        seed=17,
+        camera_ids=camera_ids(config.workload),
+        duration=config.workload.duration_s,
+        burst_count=2,
+        burst_multiplier=2.0,
+    )
+
+
+def _bench_sharded_fleet(name: str, shards: int) -> BenchResult:
+    """One 1024-camera burst run, single-scheduler vs 4-shard frontend.
+
+    The quantity gated is **scheduler-side patches/sec**: completed
+    patches over the scheduling compute the run actually burned (the
+    simulator charges no simulated time for scheduler compute, so
+    whole-run wall clock only measures the shared world model).  For the
+    sharded arm the divisor is the *critical path* -- the slowest
+    worker's compute -- because each shard worker is an independent
+    process in deployment; the single-scheduler arm's divisor is its one
+    worker's compute.  Dispatch is ``least_loaded`` (the balanced policy
+    a uniform fleet would deploy with; consistent hashing's 225-281
+    camera spread leaves ~1.5x on the slowest shard).
+    """
+    from repro.fleet import ShardScenarioConfig, run_fleet_scenario, run_sharded_scenario
+
+    config = _sharded_fleet_config()
+    plan = _sharded_fleet_plan(config)
+    start = time.perf_counter()
+    if shards == 1:
+        result = run_fleet_scenario(config, plan)
+        fleet = result
+        critical_path = result.scheduler_compute_seconds
+        shard_cameras = [config.workload.num_cameras]
+        routing: Dict[str, int] = {}
+    else:
+        sharded = run_sharded_scenario(
+            ShardScenarioConfig(base=config, shards=shards, dispatch="least_loaded"),
+            plan,
+        )
+        fleet = sharded.fleet
+        critical_path = sharded.critical_path_seconds
+        shard_cameras = sharded.shard_cameras
+        routing = sharded.routing
+    elapsed = time.perf_counter() - start
+    violation_rate = (
+        fleet.slo_violations / fleet.completed_patches if fleet.completed_patches else 0.0
+    )
+    return BenchResult(
+        name,
+        elapsed,
+        {
+            "num_cameras": config.workload.num_cameras,
+            "shards": shards,
+            "shard_cameras": shard_cameras,
+            "completed_patches": fleet.completed_patches,
+            "scheduler_compute_seconds": round(fleet.scheduler_compute_seconds, 4),
+            "critical_path_seconds": round(critical_path, 4),
+            "patches_per_sec": round(fleet.completed_patches / critical_path, 1)
+            if critical_path > 0
+            else 0.0,
+            "slo_violation_rate": round(violation_rate, 4),
+            "delivered_fraction": round(fleet.delivered_fraction, 4),
+            "mean_canvas_efficiency": round(fleet.mean_canvas_efficiency, 4),
+            "errors": fleet.errors,
+            "routing": routing,
+        },
+    )
+
+
+def bench_fleet_unsharded_1024() -> BenchResult:
+    """The single-scheduler arm of the sharded-frontend pair."""
+    return _bench_sharded_fleet("fleet_unsharded_1024", shards=1)
+
+
+def bench_fleet_sharded_1024() -> BenchResult:
+    """The 4-shard arm: camera ownership split across four workers."""
+    return _bench_sharded_fleet("fleet_sharded_1024", shards=4)
+
+
 SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "stitching_batch_pack_256": bench_stitching_batch_pack,
     "stitching_incremental_256": bench_stitching_incremental,
@@ -829,6 +932,8 @@ SECTIONS: Dict[str, Callable[[], BenchResult]] = {
     "end_to_end_fleet_64": bench_end_to_end_fleet,
     "fleet_faultfree_1024": bench_fleet_faultfree_1024,
     "fleet_churn_1024": bench_fleet_churn_1024,
+    "fleet_unsharded_1024": bench_fleet_unsharded_1024,
+    "fleet_sharded_1024": bench_fleet_sharded_1024,
 }
 
 
@@ -1043,6 +1148,28 @@ def _derive(sections: Dict[str, Dict[str, object]]) -> Dict[str, float]:
         derived["fleet_errors"] = int(faultfree["meta"].get("errors", 0)) + int(
             churn["meta"].get("errors", 0)
         )
+    unsharded = sections.get("fleet_unsharded_1024")
+    sharded = sections.get("fleet_sharded_1024")
+    if unsharded and sharded:
+        unsharded_pps = float(unsharded["meta"].get("patches_per_sec", 0.0))
+        sharded_pps = float(sharded["meta"].get("patches_per_sec", 0.0))
+        if unsharded_pps > 0:
+            # Scheduler-side throughput of the 4-shard deployment (its
+            # critical path is the slowest worker) over the single
+            # scheduler's -- the ISSUE-8 >= 1.5x gate.
+            derived["sharded_throughput_speedup"] = round(
+                sharded_pps / unsharded_pps, 2
+            )
+        # SLO-violation-rate delta: positive means sharding made the
+        # served stream *worse* -- gated at <= 0 (no worse).
+        derived["sharded_slo_delta"] = round(
+            float(sharded["meta"].get("slo_violation_rate", 0.0))
+            - float(unsharded["meta"].get("slo_violation_rate", 0.0)),
+            4,
+        )
+        derived["sharded_fleet_errors"] = int(
+            unsharded["meta"].get("errors", 0)
+        ) + int(sharded["meta"].get("errors", 0))
     return derived
 
 
@@ -1068,6 +1195,8 @@ def check_against_baseline(
     min_canvas_index_speedup: float = 1.3,
     min_fleet_efficiency_ratio: float = 0.95,
     max_fleet_overreaction: float = 0.05,
+    min_sharded_speedup: float = 1.5,
+    max_sharded_slo_delta: float = 0.0,
     ratios_only: bool = False,
 ) -> List[str]:
     """Compare a fresh report against the committed baseline.
@@ -1112,6 +1241,7 @@ def check_against_baseline(
         ("canvas_index_speedup_4096", min_canvas_index_speedup, "x"),
         ("canvas_index_stream_efficiency_ratio", min_efficiency_ratio, ""),
         ("fleet_stream_efficiency_ratio", min_fleet_efficiency_ratio, ""),
+        ("sharded_throughput_speedup", min_sharded_speedup, "x"),
     ]
     for key, minimum, unit in gates:
         value = derived.get(key)
@@ -1135,5 +1265,18 @@ def check_against_baseline(
             f"fleet_fault_overreaction {float(overreaction):.4f} exceeds the "
             f"allowed margin {max_fleet_overreaction:.4f} (the pipeline shed "
             "more than the injected faults account for)"
+        )
+    sharded_errors = derived.get("sharded_fleet_errors")
+    if sharded_errors is not None and int(sharded_errors) > 0:
+        failures.append(
+            f"sharded_fleet_errors {int(sharded_errors)}: the sharded pair "
+            "must complete with zero escaped exceptions"
+        )
+    slo_delta = derived.get("sharded_slo_delta")
+    if slo_delta is not None and float(slo_delta) > max_sharded_slo_delta:
+        failures.append(
+            f"sharded_slo_delta {float(slo_delta):.4f} exceeds the allowed "
+            f"{max_sharded_slo_delta:.4f} (sharding made the SLO-violation "
+            "rate worse than the single scheduler)"
         )
     return failures

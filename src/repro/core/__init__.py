@@ -36,6 +36,7 @@ from repro.core.consolidation import (
     ConsolidationPolicy,
 )
 from repro.core.freerect_index import FreeRectIndex
+from repro.core.options import REPACK_SCOPES, SchedulerOptions
 from repro.core.skyline import FreeRect, Skyline
 from repro.core.stitching import (
     CANVAS_STRUCTURES,
@@ -67,6 +68,8 @@ __all__ = [
     "PatchStitchingSolver",
     "LatencyEstimator",
     "LatencyProfile",
+    "REPACK_SCOPES",
+    "SchedulerOptions",
     "BatchRecord",
     "TangramScheduler",
     "Tangram",

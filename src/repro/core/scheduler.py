@@ -25,10 +25,13 @@ the baseline scheduling policies (Clipper, MArk, ELF) in
 from __future__ import annotations
 
 import heapq
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.latency import LatencyEstimator
+from repro.core.options import UNSET, SchedulerOptions
 from repro.core.patches import Patch
 from repro.core.stitching import Canvas, IncrementalStitcher, PatchStitchingSolver
 from repro.serverless.platform import ServerlessPlatform
@@ -71,6 +74,12 @@ class BatchRecord:
     total_patch_pixels: float
     canvas_efficiencies: List[float] = field(default_factory=list)
     outcomes: List[PatchOutcome] = field(default_factory=list)
+    #: Per-canvas placement tuples, captured at invoke time when the
+    #: scheduler runs with ``record_placements=True`` (the sharded-fleet
+    #: byte-identity pins compare these); ``None`` otherwise.  Keyed by
+    #: run-independent patch identity, not ``patch_id`` (a process-global
+    #: counter that differs between two runs in one process).
+    placements: Optional[Tuple[tuple, ...]] = None
 
     @property
     def mean_canvas_efficiency(self) -> float:
@@ -100,6 +109,7 @@ class BaseScheduler:
         latency_model: Optional[DetectorLatencyModel] = None,
         streams: Optional[RandomStreams] = None,
         name: str = "scheduler",
+        record_placements: bool = False,
     ) -> None:
         self.simulator = simulator
         self.platform = platform
@@ -107,8 +117,18 @@ class BaseScheduler:
         self.streams = streams or RandomStreams(17)
         self._rng = self.streams.get(f"{name}/execution")
         self.name = name
+        self.record_placements = record_placements
         self.batches: List[BatchRecord] = []
         self._batch_counter = 0
+        #: Wall-clock seconds this scheduler spent inside its own entry
+        #: points (arrival handling, invocation timers, flush).  The
+        #: simulator charges no simulated time for scheduler compute, so
+        #: this is the quantity a deployment's scheduling throughput is
+        #: bounded by -- and what the sharded fleet bench states its
+        #: patches/sec critical path over (each shard worker is an
+        #: independent process in deployment, so the sharded critical
+        #: path is the *max* over workers, not the sum).
+        self.compute_seconds = 0.0
 
     # ----------------------------------------------------------------- invoke
     def invoke_canvases(self, canvases: Sequence[Canvas]) -> Optional[BatchRecord]:
@@ -136,6 +156,22 @@ class BaseScheduler:
             total_patch_pixels=total_patch_pixels,
             canvas_efficiencies=[canvas.efficiency for canvas in canvases],
         )
+        if self.record_placements:
+            record.placements = tuple(
+                tuple(
+                    (
+                        pl.patch.camera_id,
+                        pl.patch.frame_index,
+                        pl.patch.scene_key,
+                        pl.patch.region.width,
+                        pl.patch.region.height,
+                        pl.x,
+                        pl.y,
+                    )
+                    for pl in canvas.placements
+                )
+                for canvas in canvases
+            )
         self._batch_counter += 1
 
         def completed(invocation: InvocationRecord) -> None:
@@ -258,6 +294,19 @@ class TangramScheduler(BaseScheduler):
         served-but-late patches).  ``None`` (the default) disables
         shedding; every decision is then byte-identical to the
         watermark-free scheduler.
+    options:
+        A :class:`~repro.core.options.SchedulerOptions` carrying every
+        knob above at once — the supported way to configure a scheduler
+        since the sharded fleet frontend (each shard worker clones one
+        options object).  Explicitly passed kwargs override the matching
+        fields; passing ``use_index=`` as a kwarg is deprecated
+        (superseded by ``canvas_index=``) and warns.  The resolved record
+        is exposed as :attr:`options`.
+    record_placements:
+        Capture each batch's per-canvas placement tuples on its
+        :class:`BatchRecord` at invoke time (run-independent patch
+        identity, not ``patch_id``).  Off by default — only the
+        byte-identity pins pay for it.
     """
 
     def __init__(
@@ -271,26 +320,60 @@ class TangramScheduler(BaseScheduler):
         model_memory_gb: float = 2.5,
         canvas_memory_gb: float = 0.35,
         streams: Optional[RandomStreams] = None,
-        incremental: bool = True,
-        drift_margin: float = 0.05,
-        repack_scope: str = "queue",
-        use_index: bool = True,
-        max_partial_victims: int = 8,
-        partial_patch_budget: int = 48,
-        consolidation: str = "memo",
-        retry_backoff: bool = True,
-        canvas_index: bool = False,
-        adaptive_budget: bool = False,
-        full_repack_equivalent: bool = False,
-        canvas_structure: str = "skyline",
-        admission_watermark: Optional[int] = None,
+        incremental: bool = UNSET,
+        drift_margin: float = UNSET,
+        repack_scope: str = UNSET,
+        use_index: bool = UNSET,
+        max_partial_victims: int = UNSET,
+        partial_patch_budget: int = UNSET,
+        consolidation: str = UNSET,
+        retry_backoff: bool = UNSET,
+        canvas_index: bool = UNSET,
+        adaptive_budget: bool = UNSET,
+        full_repack_equivalent: bool = UNSET,
+        canvas_structure: str = UNSET,
+        admission_watermark: Optional[int] = UNSET,
+        options: Optional[SchedulerOptions] = None,
+        record_placements: bool = False,
     ) -> None:
+        if use_index is not UNSET:
+            warnings.warn(
+                "use_index= is deprecated: the canvas admission index "
+                "(canvas_index=) supersedes the per-rectangle index; pass "
+                "options=SchedulerOptions(use_index=...) for the legacy "
+                "A/B arms",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        # Back-compat resolution: explicit kwargs override the matching
+        # ``options`` fields (validation re-runs inside ``merged_with``).
+        opts = (options or SchedulerOptions()).merged_with(
+            incremental=incremental,
+            drift_margin=drift_margin,
+            repack_scope=repack_scope,
+            use_index=use_index,
+            max_partial_victims=max_partial_victims,
+            partial_patch_budget=partial_patch_budget,
+            consolidation=consolidation,
+            retry_backoff=retry_backoff,
+            canvas_index=canvas_index,
+            adaptive_budget=adaptive_budget,
+            full_repack_equivalent=full_repack_equivalent,
+            canvas_structure=canvas_structure,
+            admission_watermark=admission_watermark,
+        )
+        self.options = opts
         latency_model = latency_model or DetectorLatencyModel.serverless()
         super().__init__(
-            simulator, platform, latency_model, streams=streams, name="tangram"
+            simulator,
+            platform,
+            latency_model,
+            streams=streams,
+            name="tangram",
+            record_placements=record_placements,
         )
         self.solver = solver or PatchStitchingSolver(
-            canvas_structure=canvas_structure
+            canvas_structure=opts.canvas_structure
         )
         self.estimator = estimator or LatencyEstimator(
             latency_model=latency_model,
@@ -303,28 +386,17 @@ class TangramScheduler(BaseScheduler):
         self.gpu_memory_gb = gpu_memory_gb
         self.model_memory_gb = model_memory_gb
         self.canvas_memory_gb = canvas_memory_gb
-        self.incremental = incremental
+        self.incremental = opts.incremental
         self._packer: Optional[IncrementalStitcher] = (
             IncrementalStitcher(
                 self.solver,
-                drift_margin=drift_margin,
-                always_repack=full_repack_equivalent,
                 equivalent_canvas_pixels=self.estimator.canvas_pixels,
-                repack_scope=repack_scope,
-                use_index=use_index,
-                max_partial_victims=max_partial_victims,
-                partial_patch_budget=partial_patch_budget,
-                consolidation=consolidation,
-                retry_backoff=retry_backoff,
-                canvas_index=canvas_index,
-                adaptive_budget=adaptive_budget,
+                options=opts,
             )
-            if incremental
+            if opts.incremental
             else None
         )
-        if admission_watermark is not None and admission_watermark < 1:
-            raise ValueError("admission_watermark must be at least 1")
-        self.admission_watermark = admission_watermark
+        self.admission_watermark = opts.admission_watermark
         #: Patches shed by the admission watermark (SLO-aware degradation).
         self.shed: List[Patch] = []
         self._min_feasible_latency: Optional[float] = None
@@ -372,6 +444,13 @@ class TangramScheduler(BaseScheduler):
     # ---------------------------------------------------------------- arrival
     def receive_patch(self, patch: Patch) -> None:
         """Algorithm 2, lines 4-18: handle one arriving patch."""
+        start = time.perf_counter()
+        try:
+            self._handle_arrival(patch)
+        finally:
+            self.compute_seconds += time.perf_counter() - start
+
+    def _handle_arrival(self, patch: Patch) -> None:
         if self._should_shed(patch):
             return
         if self._packer is not None:
@@ -443,21 +522,29 @@ class TangramScheduler(BaseScheduler):
 
     def _fire(self) -> None:
         """Algorithm 2, lines 19-22: the invocation timer went off."""
-        self._timer = None
-        if not self._canvases:
-            return
-        self.invoke_canvases(self._canvases)
-        self._clear_queue()
+        start = time.perf_counter()
+        try:
+            self._timer = None
+            if not self._canvases:
+                return
+            self.invoke_canvases(self._canvases)
+            self._clear_queue()
+        finally:
+            self.compute_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------ flush
     def flush(self) -> None:
         """Invoke whatever is still queued (used at the end of a trace)."""
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
-        if self._canvases:
-            self.invoke_canvases(self._canvases)
-            self._clear_queue()
+        start = time.perf_counter()
+        try:
+            if self._timer is not None:
+                self._timer.cancel()
+                self._timer = None
+            if self._canvases:
+                self.invoke_canvases(self._canvases)
+                self._clear_queue()
+        finally:
+            self.compute_seconds += time.perf_counter() - start
 
     def _clear_queue(self) -> None:
         self._queue = []

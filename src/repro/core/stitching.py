@@ -33,6 +33,7 @@ point of the design (resizing costs accuracy, padding costs compute).
 from __future__ import annotations
 
 import math
+import warnings
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -41,6 +42,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 # module when the consolidation subsystem was extracted, but
 # ``repro.core.stitching.Canvas`` remains the documented import path.
 from repro.core.canvas import CANVAS_STRUCTURES, Canvas, Placement  # noqa: F401
+from repro.core.options import UNSET, SchedulerOptions
 from repro.core.patches import Patch
 from repro.core.skyline import Skyline
 from repro.video.geometry import Box
@@ -448,33 +450,71 @@ class IncrementalStitcher:
         Pixel area of one standard canvas used for the equivalent-canvas
         accounting; defaults to the solver's canvas area.  Pass the latency
         estimator's ``canvas_pixels`` when the two are configured apart.
+    options:
+        A :class:`~repro.core.options.SchedulerOptions` carrying all of
+        the above knobs at once (the sharded fleet frontend clones one
+        per worker).  Explicitly passed kwargs override the matching
+        fields; ``always_repack`` maps onto
+        :attr:`~repro.core.options.SchedulerOptions.
+        full_repack_equivalent`.  Passing ``use_index=`` as a kwarg is
+        deprecated (superseded by ``canvas_index=``) and emits a
+        :class:`DeprecationWarning`; the resolved knobs are exposed as
+        :attr:`options`.
     """
 
     def __init__(
         self,
         solver: Optional[PatchStitchingSolver] = None,
-        drift_margin: float = 0.05,
-        always_repack: bool = False,
+        drift_margin: float = UNSET,
+        always_repack: bool = UNSET,
         equivalent_canvas_pixels: Optional[float] = None,
-        repack_scope: str = "queue",
-        use_index: bool = True,
-        max_partial_victims: int = 8,
-        partial_patch_budget: int = 48,
-        consolidation: str = "memo",
-        retry_backoff: bool = True,
-        canvas_index: bool = False,
-        adaptive_budget: bool = False,
+        repack_scope: str = UNSET,
+        use_index: bool = UNSET,
+        max_partial_victims: int = UNSET,
+        partial_patch_budget: int = UNSET,
+        consolidation: str = UNSET,
+        retry_backoff: bool = UNSET,
+        canvas_index: bool = UNSET,
+        adaptive_budget: bool = UNSET,
+        options: Optional[SchedulerOptions] = None,
     ) -> None:
-        if drift_margin < 0:
-            raise ValueError("drift_margin must be non-negative")
-        if repack_scope not in ("queue", "canvas"):
-            raise ValueError(
-                f"repack_scope must be 'queue' or 'canvas', got {repack_scope!r}"
+        if use_index is not UNSET:
+            warnings.warn(
+                "use_index= is deprecated: the canvas admission index "
+                "(canvas_index=) supersedes the per-rectangle index; pass "
+                "options=SchedulerOptions(use_index=...) for the legacy "
+                "A/B arms",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if max_partial_victims < 1:
-            raise ValueError("max_partial_victims must be at least 1")
-        if partial_patch_budget < 2:
-            raise ValueError("partial_patch_budget must be at least 2")
+        # Resolution rule of the back-compat layer: an explicitly passed
+        # kwarg overrides the matching ``options`` field; ``UNSET`` kwargs
+        # take the field (whose default is the historical kwarg default).
+        # ``merged_with`` re-runs the dataclass validation, so bad values
+        # raise the same ``ValueError`` they always did.
+        opts = (options or SchedulerOptions()).merged_with(
+            drift_margin=drift_margin,
+            full_repack_equivalent=always_repack,
+            repack_scope=repack_scope,
+            use_index=use_index,
+            max_partial_victims=max_partial_victims,
+            partial_patch_budget=partial_patch_budget,
+            consolidation=consolidation,
+            retry_backoff=retry_backoff,
+            canvas_index=canvas_index,
+            adaptive_budget=adaptive_budget,
+        )
+        self.options = opts
+        drift_margin = opts.drift_margin
+        always_repack = opts.full_repack_equivalent
+        repack_scope = opts.repack_scope
+        use_index = opts.use_index
+        max_partial_victims = opts.max_partial_victims
+        partial_patch_budget = opts.partial_patch_budget
+        consolidation = opts.consolidation
+        retry_backoff = opts.retry_backoff
+        canvas_index = opts.canvas_index
+        adaptive_budget = opts.adaptive_budget
         self.solver = solver or PatchStitchingSolver()
         self.drift_margin = drift_margin
         self.always_repack = always_repack

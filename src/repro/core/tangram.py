@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.latency import LatencyEstimator
+from repro.core.options import SchedulerOptions
 from repro.core.partitioning import FramePartitioner
 from repro.core.patches import Patch
 from repro.core.scheduler import TangramScheduler
@@ -109,6 +110,28 @@ class TangramConfig:
     #: :class:`repro.core.scheduler.TangramScheduler`).  ``None``
     #: disables shedding (byte-identical to the watermark-free path).
     scheduler_admission_watermark: Optional[int] = None
+    #: One :class:`~repro.core.options.SchedulerOptions` carrying every
+    #: scheduler knob at once.  When set it *wins wholesale* over the
+    #: per-knob ``scheduler_*`` fields above (which remain as the
+    #: back-compat layer); :meth:`resolved_scheduler_options` is the
+    #: single resolution point.
+    scheduler_options: Optional[SchedulerOptions] = None
+
+    def resolved_scheduler_options(self) -> SchedulerOptions:
+        """The options record the online scheduler is built from."""
+        if self.scheduler_options is not None:
+            return self.scheduler_options
+        return SchedulerOptions(
+            incremental=self.scheduler_incremental,
+            drift_margin=self.scheduler_drift_margin,
+            repack_scope=self.scheduler_repack_scope,
+            consolidation=self.scheduler_consolidation,
+            use_index=self.scheduler_use_index,
+            canvas_index=self.scheduler_canvas_index,
+            adaptive_budget=self.scheduler_adaptive_budget,
+            canvas_structure=self.canvas_structure,
+            admission_watermark=self.scheduler_admission_watermark,
+        )
 
 
 class Tangram:
@@ -139,7 +162,7 @@ class Tangram:
         self.solver = PatchStitchingSolver(
             canvas_width=self.config.canvas_width,
             canvas_height=self.config.canvas_height,
-            canvas_structure=self.config.canvas_structure,
+            canvas_structure=self.config.resolved_scheduler_options().canvas_structure,
         )
         self.estimator = LatencyEstimator(
             latency_model=self.latency_model,
@@ -223,12 +246,5 @@ class Tangram:
             model_memory_gb=self.config.model_memory_gb,
             canvas_memory_gb=self.config.canvas_memory_gb,
             streams=self.streams,
-            incremental=self.config.scheduler_incremental,
-            drift_margin=self.config.scheduler_drift_margin,
-            repack_scope=self.config.scheduler_repack_scope,
-            consolidation=self.config.scheduler_consolidation,
-            use_index=self.config.scheduler_use_index,
-            canvas_index=self.config.scheduler_canvas_index,
-            adaptive_budget=self.config.scheduler_adaptive_budget,
-            admission_watermark=self.config.scheduler_admission_watermark,
+            options=self.config.resolved_scheduler_options(),
         )

@@ -14,7 +14,11 @@ real fleet needs between frame capture and ``TangramScheduler``:
 * :mod:`repro.fleet.faults` -- seeded, deterministic fault plans
   (dropout, loss, jitter, burst) whose windows nest as intensity rises;
 * :mod:`repro.fleet.scenario` -- the wiring of all of the above into one
-  runnable, fully-counted fleet experiment.
+  runnable, fully-counted fleet experiment;
+* :mod:`repro.fleet.shard` -- the sharded frontend: camera ownership
+  partitioned across N independent scheduler workers with consistent-hash
+  (or load-based) dispatch and clone-planned work stealing; ``shards=1``
+  is pinned byte-identical to :func:`run_fleet_scenario`.
 """
 
 from repro.fleet.faults import FaultEvent, FaultFreePlan, FaultPlan
@@ -34,6 +38,15 @@ from repro.fleet.scenario import (
     fleet_scenario_counters,
     run_fleet_scenario,
 )
+from repro.fleet.shard import (
+    ShardRouter,
+    ShardRunResult,
+    ShardScenarioConfig,
+    ShardWorker,
+    consistent_shard_assignment,
+    run_sharded_scenario,
+    sharded_scenario_counters,
+)
 from repro.workloads.fleet import FleetWorkloadConfig, camera_ids
 
 __all__ = [
@@ -50,10 +63,17 @@ __all__ = [
     "FleetScenarioConfig",
     "FleetWorkloadConfig",
     "LivenessTracker",
+    "ShardRouter",
+    "ShardRunResult",
+    "ShardScenarioConfig",
+    "ShardWorker",
     "camera_ids",
+    "consistent_shard_assignment",
     "ReliableSender",
     "RetryPolicy",
     "TransferStats",
     "fleet_scenario_counters",
     "run_fleet_scenario",
+    "run_sharded_scenario",
+    "sharded_scenario_counters",
 ]

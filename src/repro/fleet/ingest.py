@@ -253,6 +253,11 @@ class FleetIngestor:
         """Patches currently queued (excluding lazily-discarded entries)."""
         return self._pending
 
+    def camera_depth(self, camera_id: str) -> int:
+        """Live queue depth of one camera (the shard router's steal
+        planner ranks a hot shard's cameras by this)."""
+        return self._depth.get(camera_id, 0)
+
     @property
     def degraded(self) -> bool:
         return self._degraded

@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.latency import LatencyEstimator
-from repro.core.scheduler import TangramScheduler
+from repro.core.options import SchedulerOptions
+from repro.core.scheduler import BatchRecord, TangramScheduler
 from repro.core.stitching import PatchStitchingSolver
 from repro.fleet.faults import FaultFreePlan, FaultPlan
 from repro.fleet.ingest import FleetIngestor
@@ -46,7 +47,7 @@ from repro.workloads.fleet import (
     BURST_SCENE,
     FleetWorkloadConfig,
     camera_ids,
-    capture_times,
+    capture_schedule,
     make_patch,
 )
 
@@ -79,6 +80,30 @@ class FleetScenarioConfig:
     max_instances: int = 32
     cold_start_time: float = 0.05
     estimator_iterations: int = 150
+    #: Function GPU memory; raising it (e.g. to 24) lifts the
+    #: ``max_canvases`` ship-and-reset cap, which is what lets the
+    #: per-scheduler live canvas set -- and hence per-patch probe cost --
+    #: grow with fleet size (the regime the sharded bench measures).
+    gpu_memory_gb: float = 6.0
+    #: One :class:`~repro.core.options.SchedulerOptions` for the
+    #: scheduler; when set it wins wholesale over the per-knob fields
+    #: above (``repack_scope`` / ``consolidation`` /
+    #: ``admission_watermark``), and it is the record the sharded
+    #: frontend clones per worker.
+    scheduler_options: Optional[SchedulerOptions] = None
+    #: Capture per-batch placement tuples for the byte-identity pins
+    #: (fills :attr:`FleetRunResult.batch_keys`; off by default).
+    record_placements: bool = False
+
+    def resolved_scheduler_options(self) -> SchedulerOptions:
+        """The options record the run's scheduler(s) are built from."""
+        if self.scheduler_options is not None:
+            return self.scheduler_options
+        return SchedulerOptions(
+            repack_scope=self.repack_scope,
+            consolidation=self.consolidation,
+            admission_watermark=self.admission_watermark,
+        )
 
 
 @dataclass
@@ -98,12 +123,26 @@ class FleetRunResult:
     slo_violations: int = 0
     completed_patches: int = 0
     num_batches: int = 0
+    #: Canvases invoked across all completed batches, and their mean
+    #: efficiency -- the quantities the cross-policy matrix states its
+    #: sharded-vs-unsharded contract bounds over.
+    num_canvases: int = 0
+    mean_canvas_efficiency: float = 0.0
     ingest: Dict[str, int] = field(default_factory=dict)
     transfers: Dict[str, int] = field(default_factory=dict)
     liveness_transitions: Dict[str, int] = field(default_factory=dict)
     fault_summary: Dict[str, object] = field(default_factory=dict)
     simulated_duration: float = 0.0
+    #: Wall-clock seconds the scheduler(s) spent inside their own entry
+    #: points (see :attr:`repro.core.scheduler.BaseScheduler.
+    #: compute_seconds`); summed across workers in the sharded path.
+    scheduler_compute_seconds: float = 0.0
     errors: int = 0
+    #: Run-independent per-batch keys (times, cost, efficiencies,
+    #: placements, outcome identities); only populated when the config
+    #: asked for ``record_placements`` -- the sharded frontend's
+    #: ``shards=1`` pin compares these lists byte-for-byte.
+    batch_keys: List[tuple] = field(default_factory=list)
 
     # ---------------------------------------------------------------- derived
     @property
@@ -166,6 +205,7 @@ class FleetRunResult:
             "slo_violations": self.slo_violations,
             "completed_patches": self.completed_patches,
             "num_batches": self.num_batches,
+            "num_canvases": self.num_canvases,
             "errors": self.errors,
         }
         for key, value in sorted(self.ingest.items()):
@@ -209,6 +249,36 @@ class _CountingFrontend:
         self.scheduler.flush()
 
 
+def batch_key(batch: BatchRecord) -> tuple:
+    """A run-independent identity for one completed batch.
+
+    ``patch_id`` is a process-global counter, so two separate runs of the
+    same scenario number their patches differently; outcome identities
+    are keyed by ``(camera, frame, scene, width, height)`` instead, which
+    is unique per patch slot of the deterministic fleet workload.  The
+    ``shards=1`` byte-identity pin compares lists of these keys.
+    """
+    return (
+        batch.invoke_time,
+        batch.completion_time,
+        batch.execution_time,
+        batch.cost,
+        tuple(batch.canvas_efficiencies),
+        batch.placements,
+        tuple(
+            (
+                o.patch.camera_id,
+                o.patch.frame_index,
+                o.patch.scene_key,
+                o.patch.region.width,
+                o.patch.region.height,
+                o.completion_time,
+            )
+            for o in batch.outcomes
+        ),
+    )
+
+
 def run_fleet_scenario(
     config: Optional[FleetScenarioConfig] = None,
     plan: Optional[FaultPlan] = None,
@@ -225,8 +295,11 @@ def run_fleet_scenario(
         scaling=ScalingPolicy(max_instances=config.max_instances),
         cold_start_time=config.cold_start_time,
     )
+    options = config.resolved_scheduler_options()
     solver = PatchStitchingSolver(
-        canvas_width=config.canvas_size, canvas_height=config.canvas_size
+        canvas_width=config.canvas_size,
+        canvas_height=config.canvas_size,
+        canvas_structure=options.canvas_structure,
     )
     estimator = LatencyEstimator(
         latency_model=latency_model,
@@ -242,9 +315,9 @@ def run_fleet_scenario(
         estimator=estimator,
         latency_model=latency_model,
         streams=streams.spawn("scheduler"),
-        repack_scope=config.repack_scope,
-        consolidation=config.consolidation,
-        admission_watermark=config.admission_watermark,
+        options=options,
+        record_placements=config.record_placements,
+        gpu_memory_gb=config.gpu_memory_gb,
     )
     frontend = _CountingFrontend(scheduler)
     liveness = (
@@ -316,28 +389,27 @@ def run_fleet_scenario(
         )
 
     per_frame = workload.patches_per_frame
-    for camera_id in cameras:
-        for frame_index, when in enumerate(capture_times(workload, camera_id)):
+    for camera_id, frame_index, when in capture_schedule(workload):
 
-            def on_capture(
-                _sim: Simulator,
-                camera_id: str = camera_id,
-                frame_index: int = frame_index,
-            ) -> None:
-                now = simulator.now
-                if active_plan.camera_down(camera_id, now):
-                    result.suppressed_base += per_frame
-                    return
-                if liveness is not None:
-                    liveness.heartbeat(camera_id)
-                for slot in range(per_frame):
-                    transmit(camera_id, frame_index, slot, BASE_SCENE)
-                multiplier = active_plan.burst_multiplier(now)
-                extra = int(round(per_frame * (multiplier - 1.0)))
-                for offset in range(extra):
-                    transmit(camera_id, frame_index, per_frame + offset, BURST_SCENE)
+        def on_capture(
+            _sim: Simulator,
+            camera_id: str = camera_id,
+            frame_index: int = frame_index,
+        ) -> None:
+            now = simulator.now
+            if active_plan.camera_down(camera_id, now):
+                result.suppressed_base += per_frame
+                return
+            if liveness is not None:
+                liveness.heartbeat(camera_id)
+            for slot in range(per_frame):
+                transmit(camera_id, frame_index, slot, BASE_SCENE)
+            multiplier = active_plan.burst_multiplier(now)
+            extra = int(round(per_frame * (multiplier - 1.0)))
+            for offset in range(extra):
+                transmit(camera_id, frame_index, per_frame + offset, BURST_SCENE)
 
-            simulator.schedule_at(when, on_capture, name=f"{camera_id}:capture")
+        simulator.schedule_at(when, on_capture, name=f"{camera_id}:capture")
 
     simulator.run()
     ingestor.flush(force=True)
@@ -355,6 +427,16 @@ def run_fleet_scenario(
     result.completed_patches = len(outcomes)
     result.slo_violations = sum(1 for o in outcomes if o.violated)
     result.num_batches = sum(1 for batch in scheduler.batches if batch.outcomes)
+    efficiencies = [
+        eff
+        for batch in scheduler.batches
+        if batch.outcomes
+        for eff in batch.canvas_efficiencies
+    ]
+    result.num_canvases = len(efficiencies)
+    result.mean_canvas_efficiency = (
+        sum(efficiencies) / len(efficiencies) if efficiencies else 0.0
+    )
     result.ingest = dict(ingestor.stats)
     merged = TransferStats()
     for sender in senders.values():
@@ -371,6 +453,11 @@ def run_fleet_scenario(
         result.liveness_transitions = dict(liveness.transitions)
     result.fault_summary = active_plan.describe()
     result.simulated_duration = simulator.now
+    result.scheduler_compute_seconds = scheduler.compute_seconds
+    if config.record_placements:
+        result.batch_keys = [
+            batch_key(batch) for batch in scheduler.batches if batch.outcomes
+        ]
     return result
 
 
@@ -385,6 +472,7 @@ def fleet_scenario_counters(
 __all__: List[str] = [
     "FleetScenarioConfig",
     "FleetRunResult",
+    "batch_key",
     "run_fleet_scenario",
     "fleet_scenario_counters",
 ]

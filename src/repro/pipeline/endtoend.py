@@ -26,6 +26,7 @@ import numpy as np
 from repro.baselines.clipper import ClipperScheduler
 from repro.baselines.elf import ELFScheduler
 from repro.baselines.mark import MArkScheduler
+from repro.core.options import SchedulerOptions
 from repro.core.partitioning import FramePartitioner
 from repro.core.scheduler import BaseScheduler, BatchRecord, PatchOutcome, TangramScheduler
 from repro.core.latency import LatencyEstimator
@@ -106,6 +107,11 @@ class EndToEndConfig:
     #: TangramScheduler`).  Plumbed exactly like the other scheduler
     #: knobs so sweeps can dial it per point.
     scheduler_admission_watermark: Optional[int] = None
+    #: One :class:`~repro.core.options.SchedulerOptions` carrying every
+    #: scheduler knob at once; when set it wins wholesale over the
+    #: per-knob ``scheduler_*`` fields (the back-compat layer), including
+    #: ``canvas_structure`` for the solver the scheduler is built around.
+    scheduler_options: Optional[SchedulerOptions] = None
     #: Lossy/jittery uplink mode (fleet fault experiments): per-send loss
     #: probability, propagation-jitter bound (seconds), and the seed of
     #: the counter-based draws.  The 0.0/0.0 default never touches the
@@ -141,6 +147,23 @@ class EndToEndConfig:
                 f"{self.scheduler_consolidation!r}; "
                 f"valid: {CONSOLIDATION_POLICIES}"
             )
+
+    def resolved_scheduler_options(self) -> SchedulerOptions:
+        """The options record the Tangram scheduler is built from."""
+        if self.scheduler_options is not None:
+            return self.scheduler_options
+        return SchedulerOptions(
+            incremental=self.scheduler_incremental,
+            drift_margin=self.scheduler_drift_margin,
+            repack_scope=self.scheduler_repack_scope,
+            consolidation=self.scheduler_consolidation,
+            use_index=self.scheduler_use_index,
+            canvas_index=self.scheduler_canvas_index,
+            adaptive_budget=self.scheduler_adaptive_budget,
+            full_repack_equivalent=self.scheduler_full_repack_equivalent,
+            canvas_structure=self.canvas_structure,
+            admission_watermark=self.scheduler_admission_watermark,
+        )
 
 
 @dataclass
@@ -297,10 +320,11 @@ class EndToEndRunner:
     def _build_scheduler(self) -> BaseScheduler:
         config = self.config
         if config.strategy == "tangram":
+            options = config.resolved_scheduler_options()
             solver = PatchStitchingSolver(
                 canvas_width=config.canvas_size,
                 canvas_height=config.canvas_size,
-                canvas_structure=config.canvas_structure,
+                canvas_structure=options.canvas_structure,
             )
             estimator = LatencyEstimator(
                 latency_model=self.latency_model,
@@ -316,15 +340,7 @@ class EndToEndRunner:
                 estimator=estimator,
                 latency_model=self.latency_model,
                 streams=self.streams.spawn("scheduler"),
-                incremental=config.scheduler_incremental,
-                drift_margin=config.scheduler_drift_margin,
-                repack_scope=config.scheduler_repack_scope,
-                consolidation=config.scheduler_consolidation,
-                use_index=config.scheduler_use_index,
-                canvas_index=config.scheduler_canvas_index,
-                adaptive_budget=config.scheduler_adaptive_budget,
-                full_repack_equivalent=config.scheduler_full_repack_equivalent,
-                admission_watermark=config.scheduler_admission_watermark,
+                options=options,
             )
         if config.strategy == "clipper":
             return ClipperScheduler(

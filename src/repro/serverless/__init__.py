@@ -11,7 +11,14 @@ statically provisioned server falls behind as cameras are added.
 
 from repro.serverless.cost import AlibabaCostModel, FunctionResources
 from repro.serverless.function import FunctionInstance, InvocationRecord
-from repro.serverless.loadbalancer import LeastConnectionsBalancer, RoundRobinBalancer
+from repro.serverless.loadbalancer import (
+    BALANCER_POLICIES,
+    ConsistentHashBalancer,
+    LeastConnectionsBalancer,
+    LeastLoadedBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
 from repro.serverless.platform import ServerlessPlatform
 from repro.serverless.iaas import IaaSGPUServer
 
@@ -20,8 +27,12 @@ __all__ = [
     "FunctionResources",
     "FunctionInstance",
     "InvocationRecord",
+    "BALANCER_POLICIES",
     "RoundRobinBalancer",
     "LeastConnectionsBalancer",
+    "LeastLoadedBalancer",
+    "ConsistentHashBalancer",
+    "make_balancer",
     "ServerlessPlatform",
     "IaaSGPUServer",
 ]

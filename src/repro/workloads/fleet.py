@@ -71,6 +71,23 @@ def capture_times(config: FleetWorkloadConfig, camera_id: str) -> List[float]:
     return [phase + k * interval for k in range(config.frames_per_camera)]
 
 
+def capture_schedule(config: FleetWorkloadConfig) -> List[Tuple[str, int, float]]:
+    """``(camera_id, frame_index, capture_time)`` triples in the canonical
+    camera-major order.
+
+    Both the single-scheduler scenario and the sharded frontend schedule
+    their capture events by iterating this exact sequence; since the
+    simulator breaks equal-time ties by insertion order, sharing the
+    iteration is what makes the ``shards=1`` byte-identity pin a
+    structural property instead of a coincidence.
+    """
+    return [
+        (camera_id, frame_index, when)
+        for camera_id in camera_ids(config)
+        for frame_index, when in enumerate(capture_times(config, camera_id))
+    ]
+
+
 def patch_dimensions(
     config: FleetWorkloadConfig, camera_id: str, frame_index: int, slot: int
 ) -> Tuple[float, float]:

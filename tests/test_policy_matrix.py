@@ -224,3 +224,75 @@ def _timed_run(via_ingestor: bool):
 
 def test_fault_free_fleet_ingest_is_byte_identical():
     assert _timed_run(via_ingestor=True) == _timed_run(via_ingestor=False)
+
+
+# --------------------------------------------------------------------------
+# Sharded-frontend axis (ISSUE 8): the ``shards in {1, 4}`` cells of the
+# matrix.  ``shards=1`` must be *placement-equal* to the unsharded fleet
+# path (same per-batch keys: times, cost, efficiencies, placements,
+# outcome identities -- and same counters).  ``shards=4`` partitions the
+# stream across four independent packers, so its packing may drift, but
+# only within the same contract bounds the merge policy is held to above:
+# mean canvas efficiency within 1% of the unsharded reference and canvas
+# counts within 3%.
+#
+# The 4-shard cell runs a 128-camera / 16 fps fleet: parity is a
+# saturation property (each shard's arrival rate must still fill
+# canvases before deadlines force them out), and this is the smallest
+# workload where the 1% bound holds with margin (at 64 cameras the
+# quarter-rate shards ship visibly emptier canvases).
+
+SHARDS = (1, 4)
+
+
+def _shard_base(record_placements: bool):
+    from repro.fleet import FleetScenarioConfig, FleetWorkloadConfig
+
+    if record_placements:
+        workload = FleetWorkloadConfig(
+            num_cameras=16, fps=4.0, duration_s=3.0, seed=11
+        )
+    else:
+        workload = FleetWorkloadConfig(
+            num_cameras=128, fps=16.0, duration_s=2.0, seed=11
+        )
+    return FleetScenarioConfig(
+        workload=workload,
+        seed=3,
+        record_placements=record_placements,
+    )
+
+
+def _shard_result(shards: int, record_placements: bool):
+    from repro.fleet import ShardScenarioConfig, run_fleet_scenario, run_sharded_scenario
+
+    key = ("shards", shards, record_placements)
+    if key not in _CACHE:
+        base = _shard_base(record_placements)
+        if shards == 0:  # the unsharded reference arm
+            _CACHE[key] = run_fleet_scenario(base)
+        else:
+            _CACHE[key] = run_sharded_scenario(
+                ShardScenarioConfig(base=base, shards=shards)
+            ).fleet
+    return _CACHE[key]
+
+
+def test_shards_1_is_placement_equal_to_unsharded():
+    reference = _shard_result(0, record_placements=True)
+    sharded = _shard_result(1, record_placements=True)
+    assert sharded.batch_keys == reference.batch_keys
+    assert sharded.counters() == reference.counters()
+
+
+def test_shards_4_within_merge_contract_bounds():
+    reference = _shard_result(0, record_placements=False)
+    sharded = _shard_result(4, record_placements=False)
+    assert sharded.counters()["errors"] == 0
+    assert sharded.mean_canvas_efficiency >= 0.99 * reference.mean_canvas_efficiency
+    assert abs(sharded.num_canvases - reference.num_canvases) <= max(
+        1, math.ceil(0.03 * reference.num_canvases)
+    )
+    # Partitioning must not lose patches on the fault-free stream.
+    assert sharded.delivered_fraction == pytest.approx(1.0)
+    assert reference.delivered_fraction == pytest.approx(1.0)
